@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+The heavy five-prefetcher suite comparison is computed once per session
+(`headline` fixture); the per-figure benches derive their tables from it.
+Sweep benches use a smaller runner so the whole harness stays minutes, not
+hours.  Scale up with ``--bench-accesses`` / ``--bench-traces``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SuiteRunner
+from repro.experiments.single_core import run_single_core
+from repro.memtrace.workloads import quick_suite
+
+
+def pytest_addoption(parser):
+    parser.addoption("--bench-accesses", type=int, default=20_000,
+                     help="trace length for benchmark runs")
+    parser.addoption("--bench-traces", type=int, default=0,
+                     help="number of quick-suite traces (0 = all 8)")
+
+
+@pytest.fixture(scope="session")
+def bench_accesses(request):
+    return request.config.getoption("--bench-accesses")
+
+
+@pytest.fixture(scope="session")
+def bench_specs(request):
+    limit = request.config.getoption("--bench-traces")
+    specs = quick_suite()
+    return specs[:limit] if limit else specs
+
+
+@pytest.fixture(scope="session")
+def suite_runner(bench_specs, bench_accesses):
+    """Full-size runner for the headline comparison."""
+    return SuiteRunner(specs=bench_specs, accesses=bench_accesses)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner(bench_specs, bench_accesses):
+    """Reduced runner for parameter sweeps (many configurations each)."""
+    return SuiteRunner(specs=bench_specs[:4], accesses=bench_accesses * 3 // 4)
+
+
+@pytest.fixture(scope="session")
+def headline(suite_runner):
+    """The Fig 8/9/10 + NMT measurement, computed once."""
+    return run_single_core(suite_runner, include_pmp_limit=True)
+
+
+@pytest.fixture(scope="session")
+def analysis_traces(bench_specs, bench_accesses):
+    """Materialised traces for the motivation analyses."""
+    return [spec.build(bench_accesses) for spec in bench_specs]

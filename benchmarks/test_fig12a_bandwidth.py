@@ -1,0 +1,31 @@
+"""Fig 12a — DRAM bandwidth sensitivity.
+
+Paper: PMP leads at >= 1600 MT/s and approaches its peak at 3200; at 800
+MT/s its ~2x traffic hurts and it slightly underperforms Bingo/SPP+PPF/
+Pythia while still beating DSPatch.
+"""
+
+from repro.experiments.sensitivity import bandwidth_sweep, sweep_report
+from repro.prefetchers import PMP, Bingo, DSPatch
+
+
+def test_fig12a_bandwidth(benchmark, sweep_runner):
+    prefetchers = {"dspatch": DSPatch, "bingo": Bingo, "pmp": PMP}
+    sweeps = benchmark.pedantic(
+        bandwidth_sweep, args=(sweep_runner,),
+        kwargs={"bandwidths": (800, 1600, 3200), "prefetchers": prefetchers},
+        rounds=1, iterations=1)
+    print()
+    print(sweep_report("Fig 12a — bandwidth sensitivity", "MT/s", sweeps))
+
+    pmp = dict(sweeps["pmp"])
+    bingo = dict(sweeps["bingo"])
+    assert pmp[3200] >= bingo[3200] - 0.01, \
+        "Fig 12a: PMP leads at full bandwidth"
+    assert pmp[3200] > pmp[800], \
+        "Fig 12a: PMP's gain grows with bandwidth"
+    # At 800 MT/s the PMP advantage over Bingo shrinks or inverts.
+    gap_slow = pmp[800] - bingo[800]
+    gap_fast = pmp[3200] - bingo[3200]
+    assert gap_slow <= gap_fast + 0.02, \
+        "Fig 12a: low bandwidth erodes PMP's edge"

@@ -1,0 +1,28 @@
+"""Fig 12b — LLC size sensitivity.
+
+Paper: PMP leads at every LLC size, and its gap over Bingo grows with
+capacity (2MB -> 8MB) because bigger LLCs absorb the pollution cost of
+aggressive prefetching (PMP +3.3% over Bingo at 8MB).
+"""
+
+from repro.experiments.sensitivity import llc_size_sweep, sweep_report
+from repro.prefetchers import PMP, Bingo
+
+
+def test_fig12b_llc_size(benchmark, sweep_runner):
+    prefetchers = {"bingo": Bingo, "pmp": PMP}
+    sweeps = benchmark.pedantic(
+        llc_size_sweep, args=(sweep_runner,),
+        kwargs={"sizes_mb": (2, 8), "prefetchers": prefetchers},
+        rounds=1, iterations=1)
+    print()
+    print(sweep_report("Fig 12b — LLC size sensitivity", "MB", sweeps))
+
+    pmp = dict(sweeps["pmp"])
+    bingo = dict(sweeps["bingo"])
+    assert pmp[2] >= bingo[2] - 0.02, "Fig 12b: PMP holds at 2MB"
+    assert pmp[8] >= bingo[8] - 0.02, "Fig 12b: PMP holds at 8MB"
+    gap_small = pmp[2] - bingo[2]
+    gap_large = pmp[8] - bingo[8]
+    assert gap_large >= gap_small - 0.03, \
+        "Fig 12b: the PMP-vs-Bingo gap does not shrink with LLC size"

@@ -1,0 +1,22 @@
+"""Fig 4 / Observation 3 — ICDD similarity of patterns per clustering feature.
+
+Paper shape: patterns clustered by Trigger Offset have the smallest
+(best) average ICDD; hashed PC+Address the largest; PC sits in between.
+"""
+
+from repro.experiments.motivation import fig4_report, run_fig4
+
+
+def test_fig4_icdd(benchmark, analysis_traces):
+    summaries = benchmark.pedantic(run_fig4, args=(analysis_traces,),
+                                   rounds=1, iterations=1)
+    print()
+    print(fig4_report(summaries))
+
+    means = {s.feature_name: s.mean for s in summaries}
+    assert means["Trigger Offset"] == min(means.values()), \
+        "Obs 3: trigger offset clusters the most similar patterns"
+    assert means["Trigger Offset"] < means["PC"], \
+        "Obs 3: trigger offset beats the PC feature"
+    assert means["Trigger Offset"] < means["PC+Address"], \
+        "Obs 3: trigger offset beats hashed PC+Address"

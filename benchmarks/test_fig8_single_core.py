@@ -1,0 +1,31 @@
+"""Fig 8 — single-core NIPC of the five prefetchers.
+
+Paper: PMP improves the baseline by 65.2% and outperforms DSPatch by
+41.3%, Bingo by 2.6%, SPP+PPF by 6.5% and Pythia by 8.2%.  Shape asserted
+here: PMP first, Bingo second among rivals, DSPatch far behind, everything
+above baseline.
+"""
+
+
+def test_fig8_single_core(benchmark, suite_runner, headline):
+    # The measurement itself happens in the session fixture; the benchmark
+    # times one representative PMP suite pass.
+    from repro.prefetchers import PMP
+
+    benchmark.pedantic(lambda: suite_runner.run(PMP), rounds=1, iterations=1)
+
+    print()
+    print(headline.fig8_report())
+    from repro.experiments.single_core import family_breakdown, family_report
+    print()
+    print(family_report(family_breakdown(suite_runner)))
+
+    nipc = headline.nipc
+    assert nipc["pmp"] > 1.05, "PMP must clearly beat the baseline"
+    rivals = {k: v for k, v in nipc.items() if k not in ("pmp", "pmp-limit")}
+    assert nipc["pmp"] >= max(rivals.values()) - 0.01, \
+        "Fig 8: PMP leads the comparison"
+    assert nipc["pmp"] > nipc["dspatch"] + 0.05, \
+        "Fig 8: DSPatch trails PMP by a wide margin"
+    assert nipc["bingo"] == max(rivals.values()), \
+        "Fig 8: enhanced Bingo is the strongest rival"

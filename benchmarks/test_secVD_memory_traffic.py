@@ -1,0 +1,20 @@
+"""Section V-D — normalized memory traffic.
+
+Paper: NMTs are SPP+PPF 129%, Pythia 139%, DSPatch 160%, Bingo 164%, and
+PMP highest at 199.6%; PMP-Limit (low-level degree 1) drops PMP's NMT
+substantially (paper: to 159%).
+"""
+
+
+def test_memory_traffic(benchmark, headline):
+    report = benchmark.pedantic(headline.nmt_report, rounds=1, iterations=1)
+    print()
+    print(report)
+
+    nmt = headline.nmt
+    rivals = [n for n in nmt if n not in ("pmp", "pmp-limit")]
+    assert nmt["pmp"] >= max(nmt[n] for n in rivals), \
+        "V-D: PMP has the highest memory traffic"
+    assert nmt["pmp"] > 1.2, "V-D: PMP traffic is well above baseline"
+    assert nmt["pmp-limit"] < nmt["pmp"], \
+        "V-D: limiting low-level prefetch degree cuts traffic"

@@ -1,0 +1,24 @@
+"""Section V-E2 — prefetch pattern extraction schemes.
+
+Paper: AFE is best (+65.2% over baseline); ANE is close behind (-2.9%,
+cold-start and halving interruptions); ARE collapses (+5.0% only) because
+stream patterns starve its ratio thresholds.
+"""
+
+from repro.experiments.ablations import extraction_sweep, sweep_report
+
+
+def test_extraction_schemes(benchmark, sweep_runner):
+    sweep = benchmark.pedantic(extraction_sweep, args=(sweep_runner,),
+                               rounds=1, iterations=1)
+    print()
+    print(sweep_report("Section V-E2 — extraction schemes", "scheme", sweep))
+
+    values = dict(sweep)
+    assert values["are"] < values["afe"] - 0.03, \
+        "V-E2: ARE loses most of AFE's gain"
+    assert values["are"] < values["ane"] - 0.03, \
+        "V-E2: ARE is the worst scheme"
+    assert abs(values["ane"] - values["afe"]) < 0.08, \
+        "V-E2: ANE lands close to AFE"
+    assert values["afe"] > 1.03, "V-E2: AFE clearly beats the baseline"

@@ -1,0 +1,45 @@
+"""Table X — trigger offset width (left) and counter size (right).
+
+Paper: performance saturates above 6-bit trigger offsets (+0.4% for 64x
+storage at 12b) and grows with counter size (1.624 @ 2b to 1.652 @ 5b,
+flat beyond).
+"""
+
+from repro.experiments.ablations import (
+    counter_size_sweep,
+    sweep_report,
+    trigger_offset_width_sweep,
+)
+from repro.experiments.report import format_table
+
+
+def test_table10_trigger_offset_width(benchmark, sweep_runner):
+    sweep = benchmark.pedantic(trigger_offset_width_sweep, args=(sweep_runner,),
+                               kwargs={"widths": (4, 5, 6, 8)},
+                               rounds=1, iterations=1)
+    print()
+    rows = [(w, nipc, f"{kib:.1f}KB") for w, nipc, kib in sweep]
+    print(format_table(["offset width (b)", "NIPC", "overhead"], rows,
+                       title="Table X (left) — trigger offset width"))
+
+    by_width = {w: (nipc, kib) for w, nipc, kib in sweep}
+    assert by_width[6][0] >= by_width[4][0] - 0.02, \
+        "Table X: folding trigger offsets (narrow widths) costs accuracy"
+    assert abs(by_width[8][0] - by_width[6][0]) < 0.05, \
+        "Table X: widths beyond 6b add (almost) nothing"
+    assert by_width[8][1] > by_width[6][1] * 2, \
+        "Table X: storage grows exponentially with width"
+
+
+def test_table10_counter_size(benchmark, sweep_runner):
+    sweep = benchmark.pedantic(counter_size_sweep, args=(sweep_runner,),
+                               kwargs={"sizes": (2, 3, 5, 8)},
+                               rounds=1, iterations=1)
+    print()
+    print(sweep_report("Table X (right) — OPT counter size", "bits", sweep))
+
+    values = dict(sweep)
+    assert values[5] > values[2], \
+        "Table X: longer history (bigger counters) predicts better"
+    assert abs(values[8] - values[5]) < 0.05, \
+        "Table X: counter size saturates around 5 bits"

@@ -1,0 +1,23 @@
+"""Table XI — PPT monitoring range.
+
+Paper: NIPC 1.650 / 1.652 / 1.630 / 1.615 at ranges 1 / 2 / 4 / 8 — range
+2 halves the PPT for free; range 8 degrades towards single-OPT behaviour.
+All deltas are within ~2%, so only coarse bounds are asserted.
+"""
+
+from repro.experiments.ablations import monitoring_range_sweep, sweep_report
+
+
+def test_table11_monitoring_range(benchmark, sweep_runner):
+    sweep = benchmark.pedantic(monitoring_range_sweep, args=(sweep_runner,),
+                               rounds=1, iterations=1)
+    print()
+    print(sweep_report("Table XI — monitoring range", "range", sweep))
+
+    values = dict(sweep)
+    assert abs(values[2] - values[1]) < 0.05, \
+        "Table XI: range 2 performs like range 1 at half the PPT storage"
+    assert all(v > 1.0 for v in values.values()), \
+        "Table XI: every range still beats the baseline"
+    spread = max(values.values()) - min(values.values())
+    assert spread < 0.10, "Table XI: monitoring range is a second-order knob"

@@ -1,0 +1,31 @@
+"""Tables III & V — storage overheads.
+
+Paper: PMP 4.3KB (Table III breakdown: 376B FT + 456B AT + 2560B OPT +
+640B PPT + 332B PB); Table V: DSPatch 3.6KB, Bingo 127.8KB, SPP+PPF
+48.4KB, Pythia 25.5KB.  Headline ratios: 30x vs Bingo, 6x vs Pythia.
+"""
+
+from repro.experiments.report import format_table
+from repro.storage import pmp_budget, table_v
+
+
+def test_table5_storage(benchmark):
+    budgets = benchmark.pedantic(table_v, rounds=1, iterations=1)
+
+    print()
+    rows = [(name, f"{b.total_kib:.1f}KB") for name, b in budgets.items()]
+    print(format_table(["prefetcher", "storage"], rows,
+                       title="Table V — prefetcher storage overhead"))
+    pmp = pmp_budget()
+    rows = [(s.name, s.entries, f"{s.total_bytes:.0f}B", s.note)
+            for s in pmp.structures]
+    print(format_table(["structure", "entries", "bytes", "fields"], rows,
+                       title="Table III — PMP breakdown"))
+
+    assert pmp.total_bytes == 4364
+    assert abs(budgets["bingo"].total_bytes / pmp.total_bytes - 30) < 2, \
+        "headline: ~30x lower storage than enhanced Bingo"
+    assert abs(budgets["pythia"].total_bytes / pmp.total_bytes - 6) < 1, \
+        "headline: ~6x lower storage than Pythia"
+    assert budgets["dspatch"].total_kib < budgets["pmp"].total_kib, \
+        "Table V: only DSPatch is smaller than PMP"

@@ -1,0 +1,25 @@
+"""Table IX — pattern length (region size) vs performance and overhead.
+
+Paper: NIPC 1.652 / 1.626 / 1.572 at lengths 64 / 32 / 16 with overheads
+4.3KB / 2.5KB / 1.6KB — performance and storage both shrink with regions.
+"""
+
+from repro.experiments.ablations import pattern_length_sweep
+from repro.experiments.report import format_table
+
+
+def test_table9_pattern_length(benchmark, sweep_runner):
+    sweep = benchmark.pedantic(pattern_length_sweep, args=(sweep_runner,),
+                               rounds=1, iterations=1)
+    print()
+    rows = [(length, nipc, f"{kib:.1f}KB") for length, nipc, kib in sweep]
+    print(format_table(["pattern length", "NIPC", "overhead"], rows,
+                       title="Table IX — pattern length sweep"))
+
+    lengths = {length: (nipc, kib) for length, nipc, kib in sweep}
+    assert lengths[64][0] >= lengths[16][0] - 0.01, \
+        "Table IX: longer patterns perform at least as well"
+    assert lengths[64][1] > lengths[32][1] > lengths[16][1], \
+        "Table IX: storage shrinks with pattern length"
+    assert lengths[16][0] > 1.0, \
+        "Table IX: even PMP-16 beats the baseline"

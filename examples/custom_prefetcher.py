@@ -1,0 +1,78 @@
+"""Build your own prefetcher against the library's Prefetcher API.
+
+The simulator treats prefetchers as pure policy objects: observe L1D
+loads, return PrefetchRequests.  This example implements a tiny
+"trigger-offset next-K" prefetcher in ~30 lines — a poor man's PMP that
+keeps one 2-bit confidence counter per trigger offset instead of a whole
+counter vector — and benchmarks it between NextLine and full PMP.
+
+Run:  python examples/custom_prefetcher.py
+"""
+
+from repro import PMP, quick_suite
+from repro.memtrace.access import offset_of, region_of
+from repro.prefetchers import NextLine, Prefetcher, PrefetchRequest
+from repro.prefetchers.base import FillLevel, SystemView
+from repro.prefetchers.sms import PatternCaptureFramework
+from repro.sim.engine import simulate
+
+
+class TriggerNextK(Prefetcher):
+    """Prefetch the next K lines after a trigger, gated per trigger offset.
+
+    Keeps a 2-bit confidence counter per trigger offset: it counts up
+    when captured patterns were mostly-forward runs, down otherwise, and
+    prefetches only from confident triggers.
+    """
+
+    name = "trigger-next-k"
+
+    def __init__(self, k: int = 8) -> None:
+        self.k = k
+        self.capture = PatternCaptureFramework(4096)
+        self.confidence = [1] * 64
+
+    def _learn(self, pattern) -> None:
+        anchored = pattern.anchored()
+        forward_run = all(anchored >> i & 1 for i in range(min(4, 64)))
+        slot = pattern.trigger_offset
+        if forward_run:
+            self.confidence[slot] = min(3, self.confidence[slot] + 1)
+        else:
+            self.confidence[slot] = max(0, self.confidence[slot] - 1)
+
+    def on_evict(self, line_address: int) -> None:
+        pattern = self.capture.end_region(region_of(line_address))
+        if pattern is not None:
+            self._learn(pattern)
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        is_trigger, offset, completed = self.capture.observe(pc, address)
+        for pattern in completed:
+            self._learn(pattern)
+        if not is_trigger or self.confidence[offset] < 2:
+            return []
+        region = region_of(address)
+        budget = min(self.k, view.prefetch_headroom(FillLevel.L2C))
+        return [PrefetchRequest(address=region + ((offset + i) % 64) * 64,
+                                level=FillLevel.L2C)
+                for i in range(1, budget + 1)]
+
+
+def main() -> None:
+    trace = quick_suite()[1].build(25_000)
+    baseline = simulate(trace)
+    print(f"workload {trace.name}: baseline IPC {baseline.ipc:.3f}\n")
+    print(f"{'prefetcher':<16} {'NIPC':>6} {'L2C cov':>8} {'NMT':>6}")
+    for prefetcher in (NextLine(degree=2), TriggerNextK(k=8), PMP()):
+        result = simulate(trace, prefetcher)
+        print(f"{prefetcher.name:<16} {result.nipc(baseline):>6.3f} "
+              f"{result.coverage(baseline, 'l2c') * 100:>7.1f}% "
+              f"{result.nmt(baseline):>6.2f}")
+    print("\nThe custom policy reuses the SMS capture framework and the")
+    print("SystemView headroom signals — the same substrate PMP runs on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Graph analytics (Ligra-like) workloads: prefetching the irregular.
+
+The paper's 42 Ligra traces stress every prefetcher: CSR offset arrays
+stream, edge lists burst, and neighbour data scatters.  This example
+builds two graph workloads (sparse and dense) and compares all five
+evaluated prefetchers, including the paper's observation that heavyweight
+pattern tables don't buy accuracy on irregular accesses.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro.memtrace import synthetic as syn
+from repro.memtrace.trace import Trace
+from repro.prefetchers import COMPETITORS
+from repro.sim.engine import simulate
+from repro.storage import table_v
+
+
+def build_graph_trace(name: str, avg_degree: int, accesses: int = 25_000) -> Trace:
+    rng = np.random.default_rng(hash(name) % (1 << 32))
+    trace = Trace(name, family="ligra")
+    trace.extend(syn.compose(rng, [
+        (syn.graph_traversal,
+         {"segment": 6, "n_vertices": 1 << 14, "avg_degree": avg_degree}, 0.6),
+        (syn.pointer_chase, {"segment": 5, "working_lines": 1 << 14}, 0.2),
+        (syn.pattern_replay, {"segment": 4, "noise": 0.08}, 0.2),
+    ], accesses))
+    return trace
+
+
+def main() -> None:
+    budgets = table_v()
+    for name, degree in (("sparse-graph", 4), ("dense-graph", 16)):
+        trace = build_graph_trace(name, degree)
+        baseline = simulate(trace)
+        print(f"\n== {name} (avg degree {degree}, "
+              f"~{trace.estimated_mpki():.1f} MPKI) ==")
+        print(f"{'prefetcher':<10} {'storage':>9} {'NIPC':>6} "
+              f"{'L2C cov':>8} {'NMT':>6}")
+        for pf_name, factory in COMPETITORS.items():
+            result = simulate(trace, factory())
+            print(f"{pf_name:<10} {budgets[pf_name].total_kib:>7.1f}KB "
+                  f"{result.nipc(baseline):>6.3f} "
+                  f"{result.coverage(baseline, 'l2c') * 100:>7.1f}% "
+                  f"{result.nmt(baseline):>6.2f}")
+    print("\nNote the storage column: PMP competes with prefetchers 6-30x")
+    print("its size on exactly the workloads that motivated those sizes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""The paper's motivating MCF case (Section III Discussion).
+
+MCF's ``MCF_primal_update_flow`` walks predecessor pointers backwards
+through a big array.  Addresses cross many regions (address features
+fail to cluster the recurring pattern), two different loops generate it
+(the PC feature splits it), but the walk enters every region near its
+top — the *trigger offset* identifies the pattern wherever it appears.
+
+This example builds an MCF-like trace, draws the Fig 5a-style heat map,
+quantifies the Observation-3 feature ranking (ICDD) on exactly this
+trace, and shows PMP working from 4.3KB of state.  (On a *pure* backward
+scan a classic stride prefetcher is also excellent — the paper's point is
+not that trigger offsets beat strides on strides, but that they index
+recurring patterns address and PC features cannot cluster.)
+
+Run:  python examples/mcf_backward_scan.py
+"""
+
+import numpy as np
+
+from repro.analysis.heatmap import heatmap_for_trace, render_ascii
+from repro.analysis.patterns import capture_patterns
+from repro.analysis.redundancy import TABLE_I_FEATURES, pcr_pdr
+from repro.analysis.similarity import FIG4_FEATURES, average_icdd
+from repro.memtrace import synthetic as syn
+from repro.memtrace.trace import Trace
+from repro.prefetchers import PMP
+from repro.sim.engine import simulate
+
+
+def build_mcf_like(accesses: int = 25_000) -> Trace:
+    """Two pred-pointer loops (different PCs) + neighbourhood accesses."""
+    rng = np.random.default_rng(42)
+    trace = Trace("mcf-like", family="spec06")
+    trace.extend(syn.compose(rng, [
+        # for(; iplus != w; iplus = iplus->pred) { ... }
+        (syn.backward_scan, {"segment": 2, "pc": 0x401000}, 0.30),
+        # for(; jplus != w; jplus = jplus->pred) { ... }
+        (syn.backward_scan, {"segment": 7, "pc": 0x402000}, 0.30),
+        (syn.neighborhood_walk, {"segment": 3}, 0.30),
+        (syn.pointer_chase, {"segment": 5}, 0.10),
+    ], accesses))
+    return trace
+
+
+def main() -> None:
+    trace = build_mcf_like()
+    print(f"MCF-like trace: {len(trace)} accesses, "
+          f"~{trace.estimated_mpki():.1f} MPKI\n")
+
+    print("Fig 5a — patterns indexed by Trigger Offset (x: offset, y: index):")
+    print(render_ascii(heatmap_for_trace(trace, "Trigger Offset")))
+    print("\nThe bottom rows (big trigger offsets) are the backward scans;")
+    print("the diagonal band is the near-trigger neighbourhood.\n")
+
+    patterns = capture_patterns(trace)
+    print("Observation 3 on this trace — mean ICDD per clustering feature")
+    print("(lower = the feature groups more-similar patterns):")
+    for name, feature in FIG4_FEATURES.items():
+        print(f"  {name:<18} {average_icdd(patterns, feature):6.3f}")
+
+    print("\nObservation 2 — collisions vs duplicates per indexing feature:")
+    for name, feature in TABLE_I_FEATURES.items():
+        result = pcr_pdr(patterns, feature, name)
+        print(f"  {name:<24} PCR {result.pcr:7.1f}   PDR {result.pdr:5.1f}")
+
+    baseline = simulate(trace)
+    pmp = simulate(trace, PMP())
+    print(f"\nPMP (4.3KB) on this trace: NIPC {pmp.nipc(baseline):.3f}, "
+          f"L1D coverage {pmp.coverage(baseline, 'l1d') * 100:.1f}%, "
+          f"L1D accuracy {pmp.accuracy('l1d') * 100:.1f}%")
+    print("One merged counter vector per trigger offset serves every region")
+    print("both loops touch — the storage the paper's Table I features waste")
+    print("on duplicates (high PDR) simply never gets allocated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""The storage/performance frontier (the paper's headline trade-off).
+
+Sweeps PMP's pattern length (Table IX: PMP-64/-32/-16) and places every
+evaluated prefetcher on a storage-vs-NIPC scatter, rendered as ASCII.
+The paper's claim is that PMP sits on the frontier: nothing cheaper is
+faster, and the 6-30x bigger designs are no better.
+
+Run:  python examples/storage_performance_frontier.py
+"""
+
+from repro.experiments.runner import SuiteRunner
+from repro.memtrace.workloads import quick_suite
+from repro.prefetchers import COMPETITORS, PMP
+from repro.prefetchers.pmp import PMPConfig
+from repro.storage import pmp_budget, table_v
+
+
+def main() -> None:
+    runner = SuiteRunner(specs=quick_suite()[:4], accesses=15_000)
+    budgets = table_v()
+    points: list[tuple[str, float, float]] = []
+
+    print("Measuring the five evaluated prefetchers ...")
+    for name, factory in COMPETITORS.items():
+        nipc = runner.geomean_nipc(factory)
+        points.append((name, budgets[name].total_kib, nipc))
+        print(f"  {name:<10} {budgets[name].total_kib:7.1f}KB  NIPC {nipc:.3f}")
+
+    print("Measuring PMP-32 and PMP-16 (Table IX) ...")
+    for region_bytes, label in ((2048, "pmp-32"), (1024, "pmp-16")):
+        config = PMPConfig(region_bytes=region_bytes)
+        nipc = runner.geomean_nipc(lambda c=config: PMP(c))
+        kib = pmp_budget(config).total_kib
+        points.append((label, kib, nipc))
+        print(f"  {label:<10} {kib:7.1f}KB  NIPC {nipc:.3f}")
+
+    print("\nStorage (log scale, KB) vs NIPC:")
+    render_scatter(points)
+
+
+def render_scatter(points: list[tuple[str, float, float]],
+                   width: int = 60, height: int = 16) -> None:
+    import math
+
+    xs = [math.log10(max(0.5, kib)) for _, kib, _ in points]
+    ys = [nipc for _, _, nipc in points]
+    x_lo, x_hi = min(xs) - 0.1, max(xs) + 0.1
+    y_lo, y_hi = min(ys) - 0.02, max(ys) + 0.02
+    grid = [[" "] * width for _ in range(height)]
+    labels = []
+    for (name, kib, nipc), x in zip(points, xs):
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = height - 1 - int((nipc - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[row][col] = "*"
+        labels.append(f"  * {name}: {kib:.1f}KB, NIPC {nipc:.3f}")
+    for row_index, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * row_index / (height - 1)
+        print(f"{y_value:6.3f} |" + "".join(row))
+    print(" " * 7 + "+" + "-" * width)
+    print(" " * 8 + f"{10**x_lo:.1f}KB" + " " * (width - 16) + f"{10**x_hi:.0f}KB")
+    print()
+    for label in labels:
+        print(label)
+
+
+if __name__ == "__main__":
+    main()

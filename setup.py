@@ -1,0 +1,6 @@
+"""Legacy shim: this environment has no `wheel` package, so PEP 517
+editable installs fail; `pip install -e . --no-use-pep517` uses this."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Motivation-section analytics: pattern census, redundancy, similarity."""
+
+from .heatmap import (
+    diagonal_mass,
+    heatmap,
+    heatmap_for_trace,
+    render_ascii,
+    row_concentration,
+)
+from .patterns import PatternCensus, capture_patterns, census, census_over_traces
+from .redundancy import (
+    TABLE_I_FEATURES,
+    RedundancyResult,
+    bingo_redundancy,
+    fig3_example,
+    pcr_pdr,
+    table_i,
+)
+from .similarity import FIG4_FEATURES, ICDDSummary, average_icdd, fig4, icdd
+
+__all__ = [
+    "FIG4_FEATURES",
+    "ICDDSummary",
+    "PatternCensus",
+    "RedundancyResult",
+    "TABLE_I_FEATURES",
+    "average_icdd",
+    "bingo_redundancy",
+    "fig3_example",
+    "capture_patterns",
+    "census",
+    "census_over_traces",
+    "diagonal_mass",
+    "fig4",
+    "heatmap",
+    "heatmap_for_trace",
+    "icdd",
+    "pcr_pdr",
+    "render_ascii",
+    "row_concentration",
+    "table_i",
+]

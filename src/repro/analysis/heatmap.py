@@ -1,0 +1,101 @@
+"""Pattern heat maps (Fig 5).
+
+A heat map is a 64×64 occurrence matrix: rows are feature-index values
+(trigger offset / hashed PC / hashed PC+Address), columns are accessed
+offsets within 4KB regions, and cell (y, x) counts how many captured
+patterns indexed by y contain offset x.  The paper reads program structure
+straight off these: MCF's backward scans form horizontal lines at big
+trigger offsets, Astar's strides form slashes, and PC+Address indexing
+scatters everything (the structure merging would destroy).
+
+`render_ascii` draws the matrix with density characters for terminal
+inspection and the EXPERIMENTS.md log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..memtrace.trace import Trace
+from ..prefetchers.sms import CapturedPattern
+from .patterns import capture_patterns
+from .similarity import FIG4_FEATURES, Feature6
+
+
+def heatmap(patterns: Sequence[CapturedPattern], feature: Feature6,
+            length: int = 64, rows: int = 64) -> np.ndarray:
+    """Occurrence matrix of shape (rows, length)."""
+    matrix = np.zeros((rows, length), dtype=np.int64)
+    for pattern in patterns:
+        row = feature(pattern) % rows
+        bits = pattern.bit_vector
+        for i in range(length):
+            if bits >> i & 1:
+                matrix[row, i] += 1
+    return matrix
+
+
+def heatmap_for_trace(trace: Trace, feature_name: str,
+                      region_bytes: int = 4096) -> np.ndarray:
+    """Fig 5 panel: capture a trace's patterns and bucket by a named feature."""
+    feature = FIG4_FEATURES[feature_name]
+    patterns = capture_patterns(trace, region_bytes)
+    return heatmap(patterns, feature, length=region_bytes // 64)
+
+
+def row_concentration(matrix: np.ndarray) -> float:
+    """How concentrated mass is across rows (1 = one row, ~0 = uniform).
+
+    Used by tests to check the qualitative Fig 5 contrast: trigger-offset
+    maps of structured traces are much more concentrated than hashed
+    PC+Address maps of the same trace.
+    """
+    row_mass = matrix.sum(axis=1).astype(np.float64)
+    total = row_mass.sum()
+    if total == 0:
+        return 0.0
+    p = row_mass / total
+    nonzero = p[p > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    max_entropy = float(np.log(len(row_mass)))
+    return 1.0 - entropy / max_entropy if max_entropy > 0 else 1.0
+
+
+def diagonal_mass(matrix: np.ndarray, band: int = 4) -> float:
+    """Mass within `band` of the main diagonal — the Fig 5a/5b 'slash' signal.
+
+    Only meaningful for trigger-offset-indexed maps, where row == trigger
+    offset and a slash means "accesses near the trigger".
+    """
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    rows, cols = matrix.shape
+    mass = 0
+    for y in range(rows):
+        lo, hi = max(0, y - band), min(cols, y + band + 1)
+        mass += int(matrix[y, lo:hi].sum())
+    return mass / total
+
+
+_DENSITY = " .:-=+*#%@"
+
+
+def render_ascii(matrix: np.ndarray, width: int = 64) -> str:
+    """Terminal rendering with log-scaled density characters."""
+    if matrix.size == 0 or matrix.max() == 0:
+        return "(empty heat map)"
+    scaled = np.log1p(matrix.astype(np.float64))
+    scaled /= scaled.max()
+    lines = []
+    step = max(1, matrix.shape[1] // width)
+    for row in scaled:
+        chars = []
+        for x in range(0, len(row), step):
+            value = row[x:x + step].max()
+            chars.append(_DENSITY[min(len(_DENSITY) - 1,
+                                      int(value * (len(_DENSITY) - 1)))])
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""ICDD pattern-similarity analysis (Observation 3, Fig 4).
+
+The paper clusters captured patterns by a 6-bit feature (64 clusters) and
+measures each cluster's Intracluster Centroid Diameter Distance:
+
+    ICDD(S) = 2 * mean_x d(x, V),   V = mean of S,
+
+with d the Euclidean distance between patterns viewed as 0/1 vectors.  A
+*smaller* average ICDD means the feature groups more-similar patterns.
+The reproduced ranking is the paper's: Trigger Offset clusters tightest,
+hashed PC+Address loosest — the observation PMP's merging is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..memtrace.access import hash_pc
+from ..memtrace.trace import Trace
+from ..prefetchers.sms import CapturedPattern
+from .patterns import capture_patterns
+
+Feature6 = Callable[[CapturedPattern], int]
+
+
+def f6_trigger_offset(pattern: CapturedPattern) -> int:
+    """6-bit trigger-offset cluster index."""
+    return pattern.trigger_offset & 0x3F
+
+
+def f6_pc(pattern: CapturedPattern) -> int:
+    """6-bit hashed-PC cluster index."""
+    return hash_pc(pattern.pc, 6)
+
+
+def f6_pc_trigger_offset(pattern: CapturedPattern) -> int:
+    """6-bit hashed PC+trigger-offset cluster index."""
+    return hash_pc((pattern.pc << 6) | pattern.trigger_offset, 6)
+
+
+def f6_address(pattern: CapturedPattern) -> int:
+    """6-bit hashed trigger-address cluster index."""
+    return hash_pc(pattern.region + (pattern.trigger_offset << 6), 6)
+
+
+def f6_pc_address(pattern: CapturedPattern) -> int:
+    """6-bit hashed PC+address cluster index."""
+    return hash_pc((pattern.pc << 16) ^ (pattern.region + (pattern.trigger_offset << 6)), 6)
+
+
+FIG4_FEATURES: dict[str, Feature6] = {
+    "Trigger Offset": f6_trigger_offset,
+    "PC": f6_pc,
+    "PC+Trigger Offset": f6_pc_trigger_offset,
+    "Address": f6_address,
+    "PC+Address": f6_pc_address,
+}
+
+
+def _pattern_matrix(patterns: Sequence[CapturedPattern], length: int) -> np.ndarray:
+    matrix = np.zeros((len(patterns), length), dtype=np.float64)
+    for row, pattern in enumerate(patterns):
+        bits = pattern.bit_vector
+        for i in range(length):
+            if bits >> i & 1:
+                matrix[row, i] = 1.0
+    return matrix
+
+
+def icdd(vectors: np.ndarray) -> float:
+    """ICDD of one cluster given its patterns as a (n, length) 0/1 matrix."""
+    if len(vectors) == 0:
+        return 0.0
+    centroid = vectors.mean(axis=0)
+    distances = np.linalg.norm(vectors - centroid, axis=1)
+    return float(2.0 * distances.mean())
+
+
+def average_icdd(patterns: Sequence[CapturedPattern], feature: Feature6,
+                 length: int = 64, clusters: int = 64) -> float:
+    """Mean ICDD over a feature's non-empty clusters (one trace's Fig 4 point)."""
+    buckets: dict[int, list[CapturedPattern]] = {}
+    for pattern in patterns:
+        buckets.setdefault(feature(pattern) % clusters, []).append(pattern)
+    if not buckets:
+        return 0.0
+    values = [icdd(_pattern_matrix(members, length))
+              for members in buckets.values()]
+    return float(np.mean(values))
+
+
+@dataclass
+class ICDDSummary:
+    """Distribution of per-trace average ICDDs for one feature (a Fig 4 box)."""
+
+    feature_name: str
+    values: list[float]
+
+    @property
+    def mean(self) -> float:
+        """Mean of the per-trace average ICDDs."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    @property
+    def median(self) -> float:
+        """Median of the per-trace average ICDDs."""
+        return float(np.median(self.values)) if self.values else 0.0
+
+    def quartiles(self) -> tuple[float, float]:
+        """First and third quartiles (the Fig 4 box)."""
+        if not self.values:
+            return 0.0, 0.0
+        q1, q3 = np.percentile(self.values, [25, 75])
+        return float(q1), float(q3)
+
+
+def fig4(traces: Iterable[Trace], region_bytes: int = 4096) -> list[ICDDSummary]:
+    """Reproduce Fig 4: per-feature distributions of per-trace average ICDD."""
+    per_feature: dict[str, list[float]] = {name: [] for name in FIG4_FEATURES}
+    length = region_bytes // 64
+    for trace in traces:
+        patterns = capture_patterns(trace, region_bytes)
+        if not patterns:
+            continue
+        for name, feature in FIG4_FEATURES.items():
+            per_feature[name].append(average_icdd(patterns, feature, length))
+    return [ICDDSummary(feature_name=name, values=values)
+            for name, values in per_feature.items()]

@@ -1,0 +1,224 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    pmp-repro fig8                  # five-prefetcher single-core NIPC
+    pmp-repro table1                # PCR/PDR feature analysis
+    pmp-repro fig12a --accesses 40000
+    pmp-repro fig13 --traces 4
+    pmp-repro storage               # Tables III and V
+    pmp-repro all                   # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    SuiteRunner,
+    bandwidth_sweep,
+    counter_size_sweep,
+    design_b_sweep,
+    extraction_sweep,
+    fig2_report,
+    fig4_report,
+    fig5_report,
+    fig13,
+    fig13_report,
+    llc_size_sweep,
+    monitoring_range_sweep,
+    pattern_length_sweep,
+    run_fig2,
+    run_fig4,
+    run_single_core,
+    run_table_i,
+    structure_sweep,
+    sweep_report,
+    table_i_report,
+    trigger_offset_width_sweep,
+)
+from .experiments.sensitivity import sweep_report as sensitivity_report
+from .memtrace.workloads import full_suite, quick_suite
+from .storage import table_v
+from .experiments.report import format_table
+
+
+def _specs(args: argparse.Namespace):
+    if args.full_suite:
+        return full_suite()
+    return quick_suite()[:args.traces] if args.traces else quick_suite()
+
+
+def _runner(args: argparse.Namespace) -> SuiteRunner:
+    store = None
+    if args.trace_cache:
+        from .memtrace.store import TraceStore
+        store = TraceStore(args.trace_cache)
+    return SuiteRunner(specs=_specs(args), accesses=args.accesses, store=store)
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    """Fig 8 + Section V-D: single-core NIPC and memory traffic."""
+    results = run_single_core(_runner(args), include_pmp_limit=True)
+    print(results.fig8_report())
+    print()
+    print(results.nmt_report())
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    """Fig 9 + Fig 10: coverage/accuracy and useful/useless breakdowns."""
+    results = run_single_core(_runner(args))
+    print(results.fig9_report())
+    print()
+    print(results.fig10_report())
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    """Table I: PCR/PDR per indexing feature."""
+    traces = [spec.build(args.accesses) for spec in _specs(args)]
+    print(table_i_report(run_table_i(traces)))
+
+
+def cmd_fig2(args: argparse.Namespace) -> None:
+    """Fig 2: pattern frequency census."""
+    traces = [spec.build(args.accesses) for spec in _specs(args)]
+    print(fig2_report(run_fig2(traces)))
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    """Fig 4: ICDD similarity per clustering feature."""
+    traces = [spec.build(args.accesses) for spec in _specs(args)]
+    print(fig4_report(run_fig4(traces)))
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    """Fig 5: pattern heat maps for a representative trace."""
+    spec = quick_suite()[0]
+    trace = spec.build(args.accesses)
+    print(fig5_report(trace, features=("Trigger Offset", "PC", "PC+Address")))
+
+
+def cmd_table8(args: argparse.Namespace) -> None:
+    """Table VIII: Design B associativity sweep."""
+    print(sweep_report("Table VIII — Design B associativity", "ways",
+                       design_b_sweep(_runner(args))))
+
+
+def cmd_extraction(args: argparse.Namespace) -> None:
+    """Section V-E2: ANE/ARE/AFE extraction schemes."""
+    print(sweep_report("Section V-E2 — extraction schemes", "scheme",
+                       extraction_sweep(_runner(args))))
+
+
+def cmd_structures(args: argparse.Namespace) -> None:
+    """Section V-E3: dual/combined/single table structures."""
+    print(sweep_report("Section V-E3 — table structures", "structure",
+                       structure_sweep(_runner(args))))
+
+
+def cmd_table9(args: argparse.Namespace) -> None:
+    """Table IX: pattern length vs performance and overhead."""
+    rows = [(length, nipc, f"{kib:.1f}KB")
+            for length, nipc, kib in pattern_length_sweep(_runner(args))]
+    print(format_table(["pattern length", "NIPC", "overhead"], rows,
+                       title="Table IX — pattern length vs performance/overhead"))
+
+
+def cmd_table10(args: argparse.Namespace) -> None:
+    """Table X: trigger offset width and counter size."""
+    rows = [(w, nipc, f"{kib:.1f}KB")
+            for w, nipc, kib in trigger_offset_width_sweep(_runner(args))]
+    print(format_table(["offset width (b)", "NIPC", "overhead"], rows,
+                       title="Table X (left) — trigger offset width"))
+    print()
+    print(sweep_report("Table X (right) — counter size", "bits",
+                       counter_size_sweep(_runner(args))))
+
+
+def cmd_table11(args: argparse.Namespace) -> None:
+    """Table XI: PPT monitoring range."""
+    print(sweep_report("Table XI — monitoring range", "range",
+                       monitoring_range_sweep(_runner(args))))
+
+
+def cmd_fig12a(args: argparse.Namespace) -> None:
+    """Fig 12a: DRAM bandwidth sensitivity."""
+    print(sensitivity_report("Fig 12a — DRAM bandwidth sensitivity", "MT/s",
+                             bandwidth_sweep(_runner(args))))
+
+
+def cmd_fig12b(args: argparse.Namespace) -> None:
+    """Fig 12b: LLC size sensitivity."""
+    print(sensitivity_report("Fig 12b — LLC size sensitivity", "MB",
+                             llc_size_sweep(_runner(args))))
+
+
+def cmd_fig13(args: argparse.Namespace) -> None:
+    """Fig 13: 4-core homogeneous and heterogeneous mixes."""
+    print(fig13_report(fig13(_specs(args), accesses=args.accesses // 2)))
+
+
+def cmd_storage(args: argparse.Namespace) -> None:
+    """Tables III and V: storage accounting."""
+    budgets = table_v()
+    rows = [(name, f"{b.total_kib:.1f}KB") for name, b in budgets.items()]
+    print(format_table(["prefetcher", "storage"], rows,
+                       title="Table V — prefetcher storage overhead"))
+    print()
+    pmp = budgets["pmp"]
+    rows = [(s.name, s.entries, s.bits_per_entry, f"{s.total_bytes:.0f}B")
+            for s in pmp.structures]
+    print(format_table(["structure", "entries", "bits/entry", "bytes"], rows,
+                       title="Table III — PMP storage breakdown"))
+
+
+COMMANDS = {
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "table1": cmd_table1,
+    "fig2": cmd_fig2,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "table8": cmd_table8,
+    "extraction": cmd_extraction,
+    "structures": cmd_structures,
+    "table9": cmd_table9,
+    "table10": cmd_table10,
+    "table11": cmd_table11,
+    "fig12a": cmd_fig12a,
+    "fig12b": cmd_fig12b,
+    "fig13": cmd_fig13,
+    "storage": cmd_storage,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments and run the chosen experiments."""
+    parser = argparse.ArgumentParser(
+        prog="pmp-repro",
+        description="Reproduce the PMP paper's tables and figures.")
+    parser.add_argument("experiment", choices=list(COMMANDS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--accesses", type=int, default=25_000,
+                        help="trace length (memory accesses) per workload")
+    parser.add_argument("--traces", type=int, default=0,
+                        help="limit the number of quick-suite traces")
+    parser.add_argument("--full-suite", action="store_true",
+                        help="use all 125 workloads (slow)")
+    parser.add_argument("--trace-cache", default="",
+                        help="directory to cache built traces between runs")
+    args = parser.parse_args(argv)
+
+    names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(f"== {name} ==")
+        COMMANDS[name](args)
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

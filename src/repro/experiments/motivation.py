@@ -1,0 +1,87 @@
+"""Motivation-section experiments: Table I, Fig 2, Fig 4, Fig 5.
+
+These run the analysis package over a workload sample and render
+paper-style reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.heatmap import (
+    diagonal_mass,
+    heatmap_for_trace,
+    render_ascii,
+    row_concentration,
+)
+from ..analysis.patterns import PatternCensus, census_over_traces
+from ..analysis.redundancy import RedundancyResult, table_i
+from ..analysis.similarity import ICDDSummary, fig4
+from ..memtrace.trace import Trace
+from ..memtrace.workloads import build_suite
+from .report import format_percent, format_table
+
+
+def run_table_i(traces: Sequence[Trace] | None = None) -> list[RedundancyResult]:
+    """Compute Table I over a trace sample (default: quick suite)."""
+    traces = traces if traces is not None else build_suite(accesses=20_000)
+    return table_i(traces)
+
+
+def table_i_report(results: Sequence[RedundancyResult]) -> str:
+    """Render Table I rows."""
+    rows = [(r.feature_name, f"{r.pcr:.1f}", f"{r.pdr:.1f}") for r in results]
+    return format_table(["Feature", "Pattern Collision Rate",
+                         "Pattern Duplicate Rate"], rows,
+                        title="Table I — average PCR/PDR per feature")
+
+
+def run_fig2(traces: Sequence[Trace] | None = None) -> PatternCensus:
+    """Compute the Fig 2 pattern census."""
+    traces = traces if traces is not None else build_suite(accesses=20_000)
+    return census_over_traces(traces)
+
+
+def fig2_report(census: PatternCensus) -> str:
+    """Render the Fig 2 metrics."""
+    rows = [
+        ("top 10 share", format_percent(census.top_share(10))),
+        ("top 100 share", format_percent(census.top_share(100))),
+        ("top 1000 share", format_percent(census.top_share(1000))),
+        ("seen-once share of distinct", format_percent(census.singleton_share())),
+        ("distinct patterns", str(census.distinct_patterns)),
+        ("total occurrences", str(census.total_occurrences)),
+    ]
+    return format_table(["metric", "value"], rows,
+                        title="Fig 2 / Observation 1 — pattern frequency census")
+
+
+def run_fig4(traces: Sequence[Trace] | None = None) -> list[ICDDSummary]:
+    """Compute the Fig 4 ICDD summaries."""
+    traces = traces if traces is not None else build_suite(accesses=20_000)
+    return fig4(traces)
+
+
+def fig4_report(summaries: Sequence[ICDDSummary]) -> str:
+    """Render the Fig 4 box statistics."""
+    rows = []
+    for s in sorted(summaries, key=lambda s: s.mean):
+        q1, q3 = s.quartiles()
+        rows.append((s.feature_name, s.mean, s.median, q1, q3))
+    return format_table(["feature", "mean ICDD", "median", "Q1", "Q3"], rows,
+                        title="Fig 4 — average ICDD per clustering feature "
+                              "(lower = more similar patterns per cluster)")
+
+
+def fig5_report(trace: Trace, features: Sequence[str] = ("Trigger Offset",
+                                                         "PC+Address")) -> str:
+    """Render Fig 5-style heat maps and their concentration metrics."""
+    sections = []
+    for feature in features:
+        matrix = heatmap_for_trace(trace, feature)
+        sections.append(
+            f"Fig 5 heat map — {trace.name} indexed by {feature}\n"
+            f"(row concentration {row_concentration(matrix):.3f}, "
+            f"diagonal mass {diagonal_mass(matrix):.3f})\n"
+            + render_ascii(matrix))
+    return "\n\n".join(sections)

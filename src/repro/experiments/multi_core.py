@@ -1,0 +1,114 @@
+"""Multi-core experiments (Fig 13, Table VII).
+
+Homogeneous runs put the same trace on all four cores; heterogeneous runs
+build the paper's Table VII MPKI-class mixes (all-low, all-medium,
+all-high, and the three half/half combinations), with traces drawn
+deterministically from the classified suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..memtrace.trace import rebase
+from ..memtrace.workloads import WorkloadSpec, classify_suite, quick_suite
+from ..prefetchers import COMPETITORS
+from ..prefetchers.base import NoPrefetcher, Prefetcher
+from ..sim.multicore import multicore_speedup, simulate_multicore
+from ..sim.params import SystemConfig
+from ..sim.stats import geomean
+from .report import format_table
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+TABLE_VII_MIXES = (
+    ("all-low", ("low", "low", "low", "low")),
+    ("all-medium", ("medium", "medium", "medium", "medium")),
+    ("all-high", ("high", "high", "high", "high")),
+    ("low+medium", ("low", "low", "medium", "medium")),
+    ("low+high", ("low", "low", "high", "high")),
+    ("medium+high", ("medium", "medium", "high", "high")),
+)
+
+
+def homogeneous_speedup(factory: PrefetcherFactory,
+                        specs: Sequence[WorkloadSpec] | None = None,
+                        accesses: int = 15_000, cores: int = 4) -> float:
+    """Fig 13 homogeneous: each trace run on all cores simultaneously."""
+    specs = specs or quick_suite()[:4]
+    config = SystemConfig.default().for_multicore(cores)
+    values = []
+    for spec in specs:
+        trace = spec.build(accesses)
+        # The same program on every core, as separate processes: private
+        # address spaces, no accidental LLC sharing.
+        traces = [rebase(trace, core) for core in range(cores)]
+        results = simulate_multicore(traces, factory, config)
+        baselines = simulate_multicore(traces, NoPrefetcher, config)
+        values.append(multicore_speedup(results, baselines))
+    return geomean(values)
+
+
+def build_heterogeneous_mixes(specs: Sequence[WorkloadSpec] | None = None,
+                              mixes_per_class: int = 1,
+                              seed: int = 0) -> list[tuple[str, list[WorkloadSpec]]]:
+    """Table VII: draw 4-trace mixes from the Low/Medium/High MPKI classes.
+
+    Falls back to round-robin draws when a class is underpopulated in the
+    given suite (possible for small subsets of the 125).
+    """
+    specs = specs or quick_suite()
+    buckets = classify_suite(specs)
+    rng = np.random.default_rng(seed)
+    mixes: list[tuple[str, list[WorkloadSpec]]] = []
+    for name, classes in TABLE_VII_MIXES:
+        for _ in range(mixes_per_class):
+            chosen = []
+            for cls in classes:
+                pool = buckets[cls] or list(specs)
+                chosen.append(pool[int(rng.integers(0, len(pool)))])
+            mixes.append((name, chosen))
+    return mixes
+
+
+def heterogeneous_speedup(factory: PrefetcherFactory,
+                          mixes: Sequence[tuple[str, Sequence[WorkloadSpec]]] | None = None,
+                          accesses: int = 15_000) -> float:
+    """Fig 13 heterogeneous: geomean over the Table VII mixes."""
+    mixes = mixes or build_heterogeneous_mixes()
+    config = SystemConfig.default().for_multicore(4)
+    values = []
+    for _, mix_specs in mixes:
+        traces = [rebase(spec.build(accesses), core)
+                  for core, spec in enumerate(mix_specs)]
+        results = simulate_multicore(traces, factory, config)
+        baselines = simulate_multicore(traces, NoPrefetcher, config)
+        values.append(multicore_speedup(results, baselines))
+    return geomean(values)
+
+
+def fig13(specs: Sequence[WorkloadSpec] | None = None,
+          accesses: int = 15_000,
+          prefetchers: dict[str, PrefetcherFactory] | None = None) -> dict[str, dict[str, float]]:
+    """Full Fig 13: homogeneous + heterogeneous speedups per prefetcher."""
+    prefetchers = prefetchers or dict(COMPETITORS)
+    homogeneous_specs = list(specs or quick_suite()[:4])
+    mixes = build_heterogeneous_mixes(specs)
+    out: dict[str, dict[str, float]] = {}
+    for name, factory in prefetchers.items():
+        out[name] = {
+            "homogeneous": homogeneous_speedup(factory, homogeneous_specs,
+                                               accesses),
+            "heterogeneous": heterogeneous_speedup(factory, mixes, accesses),
+        }
+    return out
+
+
+def fig13_report(results: dict[str, dict[str, float]]) -> str:
+    """Render the Fig 13 per-prefetcher speedups."""
+    rows = [(name, vals["homogeneous"], vals["heterogeneous"])
+            for name, vals in results.items()]
+    return format_table(["prefetcher", "homogeneous", "heterogeneous"], rows,
+                        title="Fig 13 — 4-core normalized performance")

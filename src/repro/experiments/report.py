@@ -1,0 +1,43 @@
+"""Plain-text table and series formatting for experiment outputs.
+
+Every experiment runner returns structured data and renders it through
+these helpers so benchmark logs read like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with per-column width fitting."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(name: str, points: Sequence[tuple[object, float]]) -> str:
+    """One figure series as `name: x=y x=y ...`."""
+    return f"{name}: " + " ".join(f"{x}={y:.3f}" for x, y in points)
+
+
+def format_percent(value: float) -> str:
+    """Format a fraction as a percentage with one decimal."""
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,85 @@
+"""Shared experiment plumbing: build traces once, run prefetcher matrices.
+
+All per-table/per-figure experiment modules go through :class:`SuiteRunner`
+so traces and baseline runs are computed once and reused across the
+experiment matrix (baseline runs dominate cost otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..memtrace.store import TraceStore
+from ..memtrace.trace import Trace
+from ..memtrace.workloads import WorkloadSpec, quick_suite
+from ..prefetchers.base import NoPrefetcher, Prefetcher
+from ..sim.engine import simulate
+from ..sim.params import SystemConfig
+from ..sim.stats import SimResult, geomean
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+DEFAULT_ACCESSES = 25_000
+
+
+@dataclass
+class SuiteRunner:
+    """Runs prefetcher configurations over a workload suite with caching."""
+
+    specs: Sequence[WorkloadSpec] = field(default_factory=quick_suite)
+    accesses: int = DEFAULT_ACCESSES
+    config: SystemConfig = field(default_factory=SystemConfig.default)
+    warmup_fraction: float = 0.2
+    store: TraceStore | None = None
+
+    def __post_init__(self) -> None:
+        self._traces: list[Trace] | None = None
+        self._baselines: dict[tuple, list[SimResult]] = {}
+
+    @property
+    def traces(self) -> list[Trace]:
+        """The materialised suite (built once, then cached)."""
+        if self._traces is None:
+            if self.store is not None:
+                self._traces = self.store.build_all(list(self.specs),
+                                                    self.accesses)
+            else:
+                self._traces = [spec.build(self.accesses)
+                                for spec in self.specs]
+        return self._traces
+
+    def baselines(self, config: SystemConfig | None = None) -> list[SimResult]:
+        """No-prefetcher runs (cached per system configuration)."""
+        cfg = config or self.config
+        key = (cfg.dram.mt_per_sec, cfg.dram.channels, cfg.llc.size_bytes)
+        if key not in self._baselines:
+            self._baselines[key] = [
+                simulate(trace, NoPrefetcher(), cfg, self.warmup_fraction)
+                for trace in self.traces]
+        return self._baselines[key]
+
+    def run(self, factory: PrefetcherFactory,
+            config: SystemConfig | None = None) -> list[SimResult]:
+        """Simulate one prefetcher configuration over the suite."""
+        cfg = config or self.config
+        return [simulate(trace, factory(), cfg, self.warmup_fraction)
+                for trace in self.traces]
+
+    def geomean_nipc(self, factory: PrefetcherFactory,
+                     config: SystemConfig | None = None) -> float:
+        """Suite-wide NIPC for one prefetcher configuration."""
+        results = self.run(factory, config)
+        baselines = self.baselines(config)
+        return geomean([r.nipc(b) for r, b in zip(results, baselines)])
+
+    def matrix(self, factories: dict[str, PrefetcherFactory],
+               config: SystemConfig | None = None) -> dict[str, list[SimResult]]:
+        """Run several prefetchers over the whole suite."""
+        return {name: self.run(factory, config)
+                for name, factory in factories.items()}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,56 @@
+"""Sensitivity studies: Fig 12a (DRAM bandwidth) and Fig 12b (LLC size)."""
+
+from __future__ import annotations
+
+from ..prefetchers import COMPETITORS
+from ..sim.params import SystemConfig
+from .report import format_table
+from .runner import SuiteRunner
+
+BANDWIDTHS_MT = (800, 1600, 3200, 4800)
+LLC_SIZES_MB = (2, 4, 8)
+
+
+def bandwidth_sweep(runner: SuiteRunner | None = None,
+                    bandwidths: tuple[int, ...] = BANDWIDTHS_MT,
+                    prefetchers: dict | None = None) -> dict[str, list[tuple[int, float]]]:
+    """Fig 12a: geomean NIPC of each prefetcher vs DRAM MT/s.
+
+    Expected shape: PMP leads at >= 1600 MT/s but loses its edge at 800
+    MT/s, where its ~2x traffic saturates the narrow channel.
+    """
+    runner = runner or SuiteRunner()
+    prefetchers = prefetchers or dict(COMPETITORS)
+    out: dict[str, list[tuple[int, float]]] = {name: [] for name in prefetchers}
+    for mt in bandwidths:
+        config = SystemConfig.default().with_dram_rate(mt)
+        for name, factory in prefetchers.items():
+            out[name].append((mt, runner.geomean_nipc(factory, config)))
+    return out
+
+
+def llc_size_sweep(runner: SuiteRunner | None = None,
+                   sizes_mb: tuple[int, ...] = LLC_SIZES_MB,
+                   prefetchers: dict | None = None) -> dict[str, list[tuple[int, float]]]:
+    """Fig 12b: geomean NIPC vs LLC capacity.
+
+    Expected shape: the PMP-vs-Bingo gap grows with LLC size because a
+    bigger LLC absorbs the pollution cost of aggressive prefetching.
+    """
+    runner = runner or SuiteRunner()
+    prefetchers = prefetchers or dict(COMPETITORS)
+    out: dict[str, list[tuple[int, float]]] = {name: [] for name in prefetchers}
+    for mb in sizes_mb:
+        config = SystemConfig.default().with_llc_size(mb * 1024 * 1024)
+        for name, factory in prefetchers.items():
+            out[name].append((mb, runner.geomean_nipc(factory, config)))
+    return out
+
+
+def sweep_report(title: str, knob: str,
+                 sweeps: dict[str, list[tuple[int, float]]]) -> str:
+    """Render per-prefetcher series over a hardware knob."""
+    knob_values = [x for x, _ in next(iter(sweeps.values()))]
+    headers = ["prefetcher"] + [f"{knob}={x}" for x in knob_values]
+    rows = [[name] + [y for _, y in series] for name, series in sweeps.items()]
+    return format_table(headers, rows, title=title)

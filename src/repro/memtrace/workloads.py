@@ -1,0 +1,171 @@
+"""The 125-trace workload suite.
+
+The paper evaluates on 125 traces: 38 from SPEC CPU 2006, 36 from SPEC CPU
+2017, 42 from Ligra, and 9 from PARSEC (Table VI).  Those traces are not
+redistributable, so this module defines a synthetic suite with the same
+family split.  Each family gets a characteristic recipe:
+
+* **spec06 / spec17** — regular scientific/desktop mixes: streams, constant
+  strides, MCF-style backward scans, neighbourhood walks and replayed
+  hot region patterns, with per-trace parameter variation (stride values,
+  mix weights, noise) so the 74 traces are distinct programs, not clones.
+* **ligra** — graph traversals plus pointer chasing (irregular-heavy).
+* **parsec** — streaming-dominated mixes with a pointer-chasing tail.
+
+Every trace is deterministic in its (name, seed); ``build()`` materialises
+it at a chosen size.  ``quick_suite`` picks a small representative subset
+for fast experiment/benchmark runs; ``full_suite`` enumerates all 125.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import synthetic as syn
+from .trace import Trace
+
+DEFAULT_TRACE_ACCESSES = 60_000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A buildable named workload."""
+
+    name: str
+    family: str
+    seed: int
+    recipe: Callable[[np.random.Generator, int], list]
+
+    def build(self, accesses: int = DEFAULT_TRACE_ACCESSES) -> Trace:
+        """Materialise the trace at the requested length."""
+        rng = np.random.default_rng(self.seed)
+        trace = Trace(name=self.name, family=self.family, seed=self.seed)
+        trace.extend(self.recipe(rng, accesses))
+        return trace
+
+
+def _spec_recipe(index: int) -> Callable[[np.random.Generator, int], list]:
+    """SPEC-like mix: weights and strides vary with the trace index."""
+    stride = [2, 3, 4, 5, 7][index % 5]
+    backward_w = 0.25 if index % 4 == 0 else 0.08  # every 4th trace is MCF-like
+    stream_w = 0.08 + 0.04 * (index % 3)
+    noise = 0.02 + 0.02 * (index % 4)
+
+    def recipe(rng: np.random.Generator, total: int) -> list:
+        """Build this SPEC-like trace's access stream."""
+        parts = [
+            (syn.stream, {"segment": 0, "gap": 44 + 2 * (index % 5)}, stream_w),
+            (syn.strided, {"stride": stride, "segment": 1}, 0.10),
+            (syn.backward_scan, {"segment": 2}, backward_w),
+            (syn.neighborhood_walk, {"segment": 3, "spread": 2 + index % 3}, 0.10),
+            (syn.pattern_replay, {"segment": 4, "noise": noise}, 0.50),
+            (syn.pointer_chase, {"segment": 5, "working_lines": 1 << (14 + index % 3)}, 0.08),
+        ]
+        return syn.compose(rng, parts, total, epochs=2 + index % 2)
+
+    return recipe
+
+
+def _ligra_recipe(index: int) -> Callable[[np.random.Generator, int], list]:
+    """Graph-analytics mix: traversal-dominated, heavy irregular tail."""
+    degree = 4 + 2 * (index % 5)
+    vertices = 1 << (13 + index % 3)
+
+    def recipe(rng: np.random.Generator, total: int) -> list:
+        """Build this Ligra-like trace's access stream."""
+        parts = [
+            (syn.graph_traversal,
+             {"segment": 6, "n_vertices": vertices, "avg_degree": degree}, 0.55),
+            (syn.pointer_chase, {"segment": 5, "working_lines": vertices}, 0.20),
+            (syn.stream, {"segment": 0, "gap": 46}, 0.10),
+            (syn.pattern_replay, {"segment": 4, "noise": 0.08}, 0.15),
+        ]
+        return syn.compose(rng, parts, total)
+
+    return recipe
+
+
+def _parsec_recipe(index: int) -> Callable[[np.random.Generator, int], list]:
+    """Streaming-pipeline mix (fluidanimate/streamcluster-like)."""
+    stride = [1, 2, 4][index % 3]
+
+    def recipe(rng: np.random.Generator, total: int) -> list:
+        """Build this PARSEC-like trace's access stream."""
+        parts = [
+            (syn.stream, {"segment": 0, "gap": 44}, 0.25),
+            (syn.strided, {"stride": stride, "segment": 1}, 0.15),
+            (syn.neighborhood_walk, {"segment": 3, "spread": 4}, 0.15),
+            (syn.pointer_chase, {"segment": 5, "working_lines": 1 << 15}, 0.10),
+            (syn.pattern_replay, {"segment": 4}, 0.35),
+        ]
+        return syn.compose(rng, parts, total)
+
+    return recipe
+
+
+_FAMILY_PLAN = (
+    ("spec06", 38, _spec_recipe, 1000),
+    ("spec17", 36, _spec_recipe, 2000),
+    ("ligra", 42, _ligra_recipe, 3000),
+    ("parsec", 9, _parsec_recipe, 4000),
+)
+
+
+def full_suite() -> list[WorkloadSpec]:
+    """All 125 workload specs with the paper's family split (Table VI)."""
+    specs: list[WorkloadSpec] = []
+    for family, count, recipe_factory, seed_base in _FAMILY_PLAN:
+        for i in range(count):
+            specs.append(WorkloadSpec(
+                name=f"{family}-{i:02d}",
+                family=family,
+                seed=seed_base + i,
+                recipe=recipe_factory(i),
+            ))
+    return specs
+
+
+def quick_suite() -> list[WorkloadSpec]:
+    """A small representative subset (2 per family + extremes) for fast runs."""
+    by_name = {spec.name: spec for spec in full_suite()}
+    names = [
+        "spec06-00",   # MCF-like (backward-heavy)
+        "spec06-01",
+        "spec17-02",
+        "spec17-05",
+        "ligra-00",
+        "ligra-07",
+        "parsec-00",
+        "parsec-04",
+    ]
+    return [by_name[name] for name in names]
+
+
+def suite_by_family(family: str) -> list[WorkloadSpec]:
+    """All specs of one family ('spec06', 'spec17', 'ligra', 'parsec')."""
+    return [spec for spec in full_suite() if spec.family == family]
+
+
+def build_suite(specs: Sequence[WorkloadSpec] | None = None,
+                accesses: int = DEFAULT_TRACE_ACCESSES) -> list[Trace]:
+    """Materialise a list of specs (default: the quick suite)."""
+    if specs is None:
+        specs = quick_suite()
+    return [spec.build(accesses) for spec in specs]
+
+
+def classify_suite(specs: Sequence[WorkloadSpec],
+                   accesses: int = 20_000) -> dict[str, list[WorkloadSpec]]:
+    """Bucket specs into the paper's Low/Medium/High MPKI classes (Table VII).
+
+    Classification uses short builds of each trace; the class depends on the
+    access-pattern recipe, not the build length.
+    """
+    buckets: dict[str, list[WorkloadSpec]] = {"low": [], "medium": [], "high": []}
+    for spec in specs:
+        trace = spec.build(accesses)
+        buckets[trace.mpki_class()].append(spec)
+    return buckets

@@ -1,0 +1,95 @@
+"""Hardware data prefetchers: PMP (the paper's contribution) and rivals."""
+
+from .base import (
+    FillLevel,
+    NoPrefetcher,
+    NullSystemView,
+    Prefetcher,
+    PrefetchRequest,
+    SystemView,
+)
+from .bingo import Bingo
+from .design_b import DesignB
+from .dspatch import DSPatch
+from .extensions import BandwidthAdaptivePMP, OraclePrefetcher
+from .ghb import GHB
+from .isb import ISB
+from .matryoshka import Matryoshka
+from .pmp import (
+    PMP,
+    CounterVector,
+    PMPConfig,
+    PrefetchBuffer,
+    arbitrate,
+    coarsen_bits,
+    extract_afe,
+    extract_ane,
+    extract_are,
+    make_pmp,
+    make_pmp_limit,
+)
+from .pythia import Pythia
+from .simple import BestOffset, NextLine, StridePrefetcher
+from .triage import Triage
+from .sms import (
+    CapturedPattern,
+    PatternCaptureFramework,
+    SetAssociativeTable,
+    SMSPrefetcher,
+    rotate_left,
+    rotate_right,
+)
+from .spp import SPP, SPPWithPPF
+from .vldp import VLDP
+
+# The paper's five-way headline comparison (Fig 8), ready to instantiate.
+COMPETITORS = {
+    "dspatch": DSPatch,
+    "bingo": Bingo,
+    "spp+ppf": SPPWithPPF,
+    "pythia": Pythia,
+    "pmp": PMP,
+}
+
+__all__ = [
+    "BandwidthAdaptivePMP",
+    "COMPETITORS",
+    "BestOffset",
+    "Bingo",
+    "CapturedPattern",
+    "CounterVector",
+    "DSPatch",
+    "DesignB",
+    "FillLevel",
+    "GHB",
+    "ISB",
+    "Matryoshka",
+    "NextLine",
+    "NoPrefetcher",
+    "NullSystemView",
+    "OraclePrefetcher",
+    "PMP",
+    "PMPConfig",
+    "PatternCaptureFramework",
+    "PrefetchBuffer",
+    "Prefetcher",
+    "PrefetchRequest",
+    "Pythia",
+    "SMSPrefetcher",
+    "SPP",
+    "SPPWithPPF",
+    "SetAssociativeTable",
+    "StridePrefetcher",
+    "SystemView",
+    "Triage",
+    "VLDP",
+    "arbitrate",
+    "coarsen_bits",
+    "extract_afe",
+    "extract_ane",
+    "extract_are",
+    "make_pmp",
+    "make_pmp_limit",
+    "rotate_left",
+    "rotate_right",
+]

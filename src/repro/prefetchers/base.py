@@ -1,0 +1,103 @@
+"""Prefetcher interface shared by PMP and all comparison prefetchers.
+
+All prefetchers in the paper's evaluation sit at L1D and are trained on
+L1D loads ("For a fair comparison, all prefetchers are placed at L1D").
+They may request fills into L1D, L2C, or LLC (:class:`FillLevel`), which
+is how PMP implements its threshold-per-level policy.
+
+The engine calls :meth:`Prefetcher.on_access` for every demand access and
+collects the returned :class:`PrefetchRequest` list; it also forwards L1D
+evictions (:meth:`on_evict`) because the SMS capture framework ends a
+region's accumulation when its data leaves the cache.  A :class:`SystemView`
+gives prefetchers the live signals the paper's designs consume: free
+prefetch-queue entries (PMP's issue throttle), MSHR headroom, and the DRAM
+busy hint (DSPatch's policy switch).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class FillLevel(enum.IntEnum):
+    """Target cache level of a prefetch; order matches 'closer to the core'."""
+
+    L1D = 1
+    L2C = 2
+    LLC = 3
+
+    def downgraded(self) -> "FillLevel":
+        """One level further from the core (arbitration rule 3)."""
+        return FillLevel(min(FillLevel.LLC, self + 1))
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchRequest:
+    """One prefetch target: a byte address and the level to fill."""
+
+    address: int
+    level: FillLevel = FillLevel.L2C
+
+
+class SystemView(Protocol):
+    """Live machine signals available to a hardware prefetcher."""
+
+    def free_pq_entries(self, level: FillLevel) -> int:
+        """Free prefetch-queue slots at a level."""
+
+    def prefetch_headroom(self, level: FillLevel) -> int:
+        """Prefetches a level can accept right now (PQ and MSHR limited)."""
+
+    def dram_utilization(self) -> float:
+        """Coarse DRAM busy fraction in [0, 1]."""
+
+
+class NullSystemView:
+    """Stand-in view for unit tests and offline training: always idle."""
+
+    def free_pq_entries(self, level: FillLevel) -> int:
+        """Unbounded PQ room."""
+        return 1 << 20
+
+    def prefetch_headroom(self, level: FillLevel) -> int:
+        """Unbounded admission headroom."""
+        return 1 << 20
+
+    def dram_utilization(self) -> float:
+        """Always-idle channel."""
+        return 0.0
+
+
+class Prefetcher:
+    """Base class; concrete prefetchers override :meth:`on_access`.
+
+    Subclasses should be pure policy: all machine state they may consult
+    arrives via the ``view`` argument, which keeps them testable offline.
+    """
+
+    name = "none"
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        """Observe one L1D demand load; return prefetches to issue now."""
+        return []
+
+    def on_evict(self, line_address: int) -> None:
+        """An L1D line was evicted (ends SMS-style pattern accumulation)."""
+
+    def on_prefetch_fill(self, address: int, level: FillLevel) -> None:
+        """A previously issued prefetch has been filled (optional feedback)."""
+
+    def on_prefetch_useful(self, address: int, level: FillLevel) -> None:
+        """A demand hit a prefetched line (optional feedback, used by RL/PPF)."""
+
+    def on_prefetch_useless(self, address: int, level: FillLevel) -> None:
+        """A prefetched line was evicted unused (optional feedback)."""
+
+
+class NoPrefetcher(Prefetcher):
+    """The non-prefetching baseline every NIPC is normalised against."""
+
+    name = "none"

@@ -1,0 +1,97 @@
+"""Design B — the identical-pattern-only alternative (Section V-E1, Fig 11).
+
+Instead of merging *similar* patterns into counter vectors, Design B stores
+whole anchored bit vectors in a set-associative cache indexed by trigger
+offset and counts exact repetitions; a pattern is replayed (ANE-style, all
+its offsets at once) when its repetition counter clears a threshold.
+
+Table VIII sweeps the associativity (8/32/128/512 ways): performance grows
+with ways but never reaches PMP because distinct-but-similar patterns
+thrash each other's entries — the motivation for counting-based merging.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..memtrace.access import lines_per_region, region_of
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView  # noqa: F401
+from .pmp import PrefetchBuffer
+from .sms import CapturedPattern, PatternCaptureFramework
+
+
+class DesignB(Prefetcher):
+    """Set-associative identical-pattern store with repetition counters."""
+
+    name = "design-b"
+
+    def __init__(self, ways: int = 32, *, region_bytes: int = 4096,
+                 counter_max: int = 31, t_l1d: int = 16, t_l2c: int = 5,
+                 pb_entries: int = 16) -> None:
+        self.ways = ways
+        self.region_bytes = region_bytes
+        self.pattern_length = lines_per_region(region_bytes)
+        self.counter_max = counter_max
+        self.t_l1d = t_l1d
+        self.t_l2c = t_l2c
+        self.capture = PatternCaptureFramework(region_bytes)
+        # One set per trigger offset; each set maps anchored vector -> count.
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self.pattern_length)]
+        self.pb = PrefetchBuffer(pb_entries)
+
+    # ------------------------------------------------------------- training
+
+    def _learn(self, pattern: CapturedPattern) -> None:
+        entry_set = self._sets[pattern.trigger_offset % self.pattern_length]
+        anchored = pattern.anchored()
+        count = entry_set.get(anchored)
+        if count is None:
+            if len(entry_set) >= self.ways:
+                entry_set.popitem(last=False)
+            entry_set[anchored] = 1
+        else:
+            entry_set[anchored] = min(self.counter_max, count + 1)
+            entry_set.move_to_end(anchored)
+
+    # ------------------------------------------------------------ prediction
+
+    def _predict(self, trigger_offset: int) -> tuple[int, FillLevel] | None:
+        """Best stored pattern for this trigger: highest repetition count."""
+        entry_set = self._sets[trigger_offset % self.pattern_length]
+        best_bits, best_count = 0, 0
+        for bits, count in entry_set.items():
+            if count > best_count:
+                best_bits, best_count = bits, count
+        if best_count >= self.t_l1d:
+            return best_bits, FillLevel.L1D
+        if best_count >= self.t_l2c:
+            return best_bits, FillLevel.L2C
+        return None
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        is_trigger, offset, completed = self.capture.observe(pc, address)
+        for pattern in completed:
+            self._learn(pattern)
+        region = region_of(address, self.region_bytes)
+        if is_trigger:
+            predicted = self._predict(offset)
+            if predicted is not None:
+                bits, level = predicted
+                length = self.pattern_length
+                targets = []
+                for i in sorted(range(1, length), key=lambda i: min(i, length - i)):
+                    if bits >> i & 1:
+                        absolute = (offset + i) % length
+                        targets.append((region + (absolute << 6), level))
+                if targets:
+                    self.pb.insert(region, targets)
+        # Same PB discipline as PMP so the comparison isolates the
+        # pattern-storage strategy, which is what Table VIII varies.
+        return self.pb.drain(region, view)
+
+    def on_evict(self, line_address: int) -> None:
+        pattern = self.capture.end_region(region_of(line_address, self.region_bytes))
+        if pattern is not None:
+            self._learn(pattern)

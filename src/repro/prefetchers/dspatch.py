@@ -1,0 +1,121 @@
+"""DSPatch — Dual Spatial Pattern prefetcher (Bera et al., MICRO 2019).
+
+The lightweight bit-vector competitor (3.6KB).  Per trigger PC it keeps two
+merged patterns: **CovP**, the OR of observed bit vectors (coverage-biased
+superset), and **AccP**, the AND (accuracy-biased common subset), each with
+a 2-bit quality measure updated from the pop-count overlap between the
+stored pattern and each newly captured one.  At prediction time the DRAM
+bandwidth signal arbitrates: plenty of headroom → replay CovP (more, less
+accurate, into L2C); saturated → replay AccP (fewer, accurate, into L1D).
+
+The paper's Section V-B attributes DSPatch's low performance to exactly
+these OR/AND merges — outliers collapse the patterns (all-ones / all-zeros)
+— which this implementation reproduces by construction.
+"""
+
+from __future__ import annotations
+
+from ..memtrace.access import hash_pc, lines_per_region, region_of
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView  # noqa: F401
+from .pmp import PrefetchBuffer
+from .sms import CapturedPattern, PatternCaptureFramework, SetAssociativeTable
+
+
+class _SignatureEntry:
+    __slots__ = ("covp", "accp", "cov_quality", "acc_quality", "trained")
+
+    def __init__(self, bits: int) -> None:
+        self.covp = bits
+        self.accp = bits
+        self.cov_quality = 1
+        self.acc_quality = 1
+        self.trained = 1
+
+    def update(self, bits: int, length: int) -> None:
+        """Merge one anchored bit vector into CovP/AccP and update quality."""
+        new_covp = self.covp | bits
+        new_accp = self.accp & bits
+        observed = max(1, bits.bit_count())
+        # Quality: 2-bit saturating counters driven by how well each stored
+        # pattern predicted the new observation.
+        cov_hit = (self.covp & bits).bit_count() / observed
+        acc_hit = (self.accp & bits).bit_count() / observed
+        self.cov_quality = _saturate(self.cov_quality, cov_hit >= 0.5)
+        self.acc_quality = _saturate(self.acc_quality, acc_hit >= 0.25)
+        # A CovP that ballooned past half the region carries no signal:
+        # reset it to the latest observation (DSPatch's PopCount check).
+        if new_covp.bit_count() > length // 2 and self.cov_quality == 0:
+            new_covp = bits
+        self.covp = new_covp
+        self.accp = new_accp if new_accp else bits
+        self.trained = min(self.trained + 1, 3)
+
+
+def _saturate(value: int, up: bool) -> int:
+    if up:
+        return min(3, value + 1)
+    return max(0, value - 1)
+
+
+class DSPatch(Prefetcher):
+    """Dual-bit-vector, PC-indexed, bandwidth-adaptive prefetcher."""
+
+    name = "dspatch"
+
+    def __init__(self, region_bytes: int = 4096, *, table_sets: int = 16,
+                 table_ways: int = 8, pc_bits: int = 12,
+                 bandwidth_threshold: float = 0.5) -> None:
+        self.region_bytes = region_bytes
+        self.pattern_length = lines_per_region(region_bytes)
+        self.capture = PatternCaptureFramework(region_bytes)
+        self.table = SetAssociativeTable(table_sets, table_ways)
+        self.pc_bits = pc_bits
+        self.bandwidth_threshold = bandwidth_threshold
+        self.pb = PrefetchBuffer(entries=16)
+
+    def _key(self, pc: int) -> int:
+        return hash_pc(pc, self.pc_bits) << 12
+
+    def _learn(self, pattern: CapturedPattern) -> None:
+        key = self._key(pattern.pc)
+        anchored = pattern.anchored()
+        entry: _SignatureEntry | None = self.table.get(key)  # type: ignore[assignment]
+        if entry is None:
+            self.table.insert(key, _SignatureEntry(anchored))
+        else:
+            entry.update(anchored, self.pattern_length)
+
+    def on_evict(self, line_address: int) -> None:
+        pattern = self.capture.end_region(region_of(line_address, self.region_bytes))
+        if pattern is not None:
+            self._learn(pattern)
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        is_trigger, offset, completed = self.capture.observe(pc, address)
+        for pattern in completed:
+            self._learn(pattern)
+        region = region_of(address, self.region_bytes)
+        if not is_trigger:
+            return self.pb.drain(region, view)
+        entry: _SignatureEntry | None = self.table.get(self._key(pc))  # type: ignore[assignment]
+        if entry is None or entry.trained < 2:
+            return self.pb.drain(region, view)
+        saturated = view.dram_utilization() >= self.bandwidth_threshold
+        if saturated:
+            bits, level = entry.accp, FillLevel.L1D
+            if entry.acc_quality == 0:
+                return self.pb.drain(region, view)
+        else:
+            bits, level = entry.covp, FillLevel.L2C
+            if entry.cov_quality == 0:
+                bits, level = entry.accp, FillLevel.L1D
+        length = self.pattern_length
+        targets = []
+        for i in sorted(range(1, length), key=lambda i: min(i, length - i)):
+            if bits >> i & 1:
+                absolute = (offset + i) % length
+                targets.append((region + (absolute << 6), level))
+        if targets:
+            self.pb.insert(region, targets)
+        return self.pb.drain(region, view)

@@ -1,0 +1,103 @@
+"""GHB PC/DC — Global History Buffer prefetching (Nesbit & Smith, 2005).
+
+The classic temporal/delta-correlation design from the paper's Section
+VI-C: a circular **Global History Buffer** holds the last N miss
+addresses, linked into per-PC chains by an index table.  On an access,
+the prefetcher walks its PC's chain, computes the recent *delta pairs*,
+finds the previous occurrence of the current pair, and replays the deltas
+that followed it (delta correlation).
+
+GHB's weakness — and why the paper's Section VI-C dismisses the family
+for general use — is capacity: correlation needs a long history buffer to
+catch patterns with any reuse distance, which is why the irregular
+prefetchers that grew out of it (ISB/MISB/Triage) need off-chip-scale
+metadata.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..memtrace.access import hash_pc
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+
+class GHB(Prefetcher):
+    """Global History Buffer with PC-localised delta correlation (PC/DC)."""
+
+    name = "ghb-pc/dc"
+
+    def __init__(self, *, buffer_entries: int = 256, index_entries: int = 256,
+                 degree: int = 4, fill_level: FillLevel = FillLevel.L2C) -> None:
+        self.buffer_entries = buffer_entries
+        self.degree = degree
+        self.fill_level = fill_level
+        # Circular buffer of (line address, previous index for same PC).
+        self._buffer: list[tuple[int, int]] = []
+        self._head = 0
+        # PC hash -> buffer index of that PC's most recent entry.
+        self._index: OrderedDict[int, int] = OrderedDict()
+        self._index_entries = index_entries
+
+    def _push(self, key: int, line: int) -> int:
+        previous = self._index.get(key, -1)
+        entry = (line, previous)
+        if len(self._buffer) < self.buffer_entries:
+            position = len(self._buffer)
+            self._buffer.append(entry)
+        else:
+            position = self._head
+            self._buffer[position] = entry
+            self._head = (self._head + 1) % self.buffer_entries
+        if key in self._index:
+            self._index.move_to_end(key)
+        elif len(self._index) >= self._index_entries:
+            self._index.popitem(last=False)
+        self._index[key] = position
+        return position
+
+    def _chain(self, key: int, limit: int = 16) -> list[int]:
+        """Most-recent-first line addresses of this PC's chain."""
+        lines: list[int] = []
+        position = self._index.get(key, -1)
+        hops = 0
+        while position >= 0 and hops < limit:
+            line, previous = self._buffer[position]
+            lines.append(line)
+            # A recycled slot breaks the chain: the link points at an
+            # entry that has since been overwritten by another PC.
+            if previous >= 0 and previous < len(self._buffer):
+                next_line, _ = self._buffer[previous]
+                position = previous if next_line != line or previous != position else -1
+            else:
+                position = -1
+            hops += 1
+        return lines
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        key = hash_pc(pc, 12)
+        line = address >> 6
+        self._push(key, line)
+        chain = self._chain(key)
+        if len(chain) < 4:
+            return []
+        # Deltas, oldest first: chain is most-recent-first.
+        ordered = list(reversed(chain))
+        deltas = [b - a for a, b in zip(ordered, ordered[1:])]
+        if len(deltas) < 3:
+            return []
+        current_pair = (deltas[-2], deltas[-1])
+        # Find the previous occurrence of the pair and replay what followed.
+        for position in range(len(deltas) - 3, 0, -1):
+            if (deltas[position - 1], deltas[position]) == current_pair:
+                following = deltas[position + 1:position + 1 + self.degree]
+                requests = []
+                target = line
+                for delta in following:
+                    target += delta
+                    if target > 0:
+                        requests.append(PrefetchRequest(
+                            address=target << 6, level=self.fill_level))
+                return requests
+        return []

@@ -1,0 +1,84 @@
+"""ISB — Irregular Stream Buffer (Jain & Lin, MICRO 2013), simplified.
+
+The paper's Section VI-C irregular-pattern representative: ISB builds a
+*structural address space* in which temporally-correlated physical lines
+become sequential.  A PC-localised training unit assigns consecutive
+structural addresses to the lines a load streams through; prediction maps
+the current line to its structural address and prefetches the lines at the
+next structural positions — linearising pointer chases that no spatial or
+delta pattern form can express.
+
+This implementation keeps the two mapping tables (physical→structural,
+structural→physical) with bounded capacity.  The original offloads these
+maps to off-chip storage — the storage appetite PMP's Section VI-C calls
+"unaffordable in general processors"; here the bound is a parameter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..memtrace.access import hash_pc
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+_STREAM_CHUNK = 256  # structural addresses reserved per new stream
+
+
+class ISB(Prefetcher):
+    """Structural-address-space irregular prefetcher."""
+
+    name = "isb"
+
+    def __init__(self, *, degree: int = 3, map_entries: int = 8192,
+                 fill_level: FillLevel = FillLevel.L2C) -> None:
+        self.degree = degree
+        self.fill_level = fill_level
+        self.map_entries = map_entries
+        self._ps: OrderedDict[int, int] = OrderedDict()   # physical -> structural
+        self._sp: dict[int, int] = {}                     # structural -> physical
+        self._next_chunk = 0
+        # PC hash -> structural address of its last access (stream cursor).
+        self._cursor: OrderedDict[int, int] = OrderedDict()
+
+    def _bound_maps(self) -> None:
+        while len(self._ps) > self.map_entries:
+            old_phys, old_struct = self._ps.popitem(last=False)
+            self._sp.pop(old_struct, None)
+
+    def _assign(self, key: int, line: int) -> int:
+        """Give `line` a structural address continuing `key`'s stream."""
+        cursor = self._cursor.get(key)
+        if cursor is None or (cursor + 1) % _STREAM_CHUNK == 0:
+            structural = self._next_chunk * _STREAM_CHUNK
+            self._next_chunk += 1
+        else:
+            structural = cursor + 1
+        self._ps[line] = structural
+        self._sp[structural] = line
+        self._ps.move_to_end(line)
+        self._bound_maps()
+        return structural
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        key = hash_pc(pc, 12)
+        line = address >> 6
+        structural = self._ps.get(line)
+        if structural is None:
+            structural = self._assign(key, line)
+        else:
+            self._ps.move_to_end(line)
+        if key in self._cursor:
+            self._cursor.move_to_end(key)
+        elif len(self._cursor) >= 256:
+            self._cursor.popitem(last=False)
+        self._cursor[key] = structural
+
+        requests = []
+        for step in range(1, self.degree + 1):
+            successor = self._sp.get(structural + step)
+            if successor is None:
+                break
+            requests.append(PrefetchRequest(address=successor << 6,
+                                            level=self.fill_level))
+        return requests

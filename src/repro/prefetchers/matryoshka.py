@@ -1,0 +1,125 @@
+"""Matryoshka — coalesced variable-length delta prefetcher
+(Jiang, Ci, Yang & Li, ICPP 2021 — the PMP authors' prior work, §VI-B).
+
+Where VLDP keeps one table per history length, Matryoshka *coalesces*
+variable-length delta sequences into a single table: each in-page delta
+history is matched at every suffix length, longest confident match wins,
+and sequences that keep mispredicting at a short length get their longer
+"nesting" promoted (hence the name).  The paper positions it, like SPP,
+as a delta-form design whose recursive lookahead cannot issue dozens of
+prefetches at once the way bit-vector replay can.
+
+Simplifications: suffix keys are exact tuples in one LRU-bounded map
+(hardware hashes them progressively); promotion is modelled by training
+every suffix length on every observation and letting confidence decide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..memtrace.access import PAGE_BYTES
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+_LINES_PER_PAGE = PAGE_BYTES // 64
+
+
+@dataclass(slots=True)
+class _PageState:
+    last_offset: int = -1
+    deltas: list = field(default_factory=list)
+
+
+class Matryoshka(Prefetcher):
+    """Single coalesced table of variable-length delta sequences."""
+
+    name = "matryoshka"
+
+    def __init__(self, *, max_history: int = 4, degree: int = 4,
+                 table_entries: int = 1024, page_entries: int = 128,
+                 min_confidence: int = 2,
+                 fill_level: FillLevel = FillLevel.L2C) -> None:
+        if max_history < 1:
+            raise ValueError("max_history must be >= 1")
+        self.max_history = max_history
+        self.degree = degree
+        self.min_confidence = min_confidence
+        self.fill_level = fill_level
+        # One coalesced map: suffix tuple (any length) -> {delta: count}.
+        self._table: OrderedDict[tuple, dict[int, int]] = OrderedDict()
+        self._table_entries = table_entries
+        self._pages: OrderedDict[int, _PageState] = OrderedDict()
+        self._page_entries = page_entries
+
+    # ------------------------------------------------------------- training
+
+    def _bump(self, key: tuple, delta: int) -> None:
+        counts = self._table.get(key)
+        if counts is None:
+            if len(self._table) >= self._table_entries:
+                self._table.popitem(last=False)
+            counts = {}
+            self._table[key] = counts
+        else:
+            self._table.move_to_end(key)
+        counts[delta] = min(15, counts.get(delta, 0) + 1)
+        if len(counts) > 4:
+            del counts[min(counts, key=counts.get)]
+
+    def _train(self, deltas: list[int]) -> None:
+        if len(deltas) < 2:
+            return
+        newest = deltas[-1]
+        history = deltas[:-1]
+        for length in range(1, self.max_history + 1):
+            if len(history) >= length:
+                self._bump(tuple(history[-length:]), newest)
+
+    # ------------------------------------------------------------ prediction
+
+    def _predict_next(self, deltas: list[int]) -> int | None:
+        """Longest nesting with enough confidence wins."""
+        for length in range(min(self.max_history, len(deltas)), 0, -1):
+            counts = self._table.get(tuple(deltas[-length:]))
+            if not counts:
+                continue
+            best = max(counts, key=counts.get)
+            if counts[best] >= self.min_confidence:
+                return best
+        return None
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        page = address & ~(PAGE_BYTES - 1)
+        offset = (address & (PAGE_BYTES - 1)) >> 6
+        state = self._pages.get(page)
+        if state is None:
+            if len(self._pages) >= self._page_entries:
+                self._pages.popitem(last=False)
+            state = _PageState()
+            self._pages[page] = state
+        else:
+            self._pages.move_to_end(page)
+
+        if state.last_offset >= 0 and offset != state.last_offset:
+            state.deltas.append(offset - state.last_offset)
+            if len(state.deltas) > self.max_history + 2:
+                del state.deltas[0]
+            self._train(state.deltas)
+        state.last_offset = offset
+
+        requests: list[PrefetchRequest] = []
+        deltas = list(state.deltas)
+        current = offset
+        for _ in range(self.degree):
+            delta = self._predict_next(deltas)
+            if delta is None:
+                break
+            current += delta
+            if not 0 <= current < _LINES_PER_PAGE:
+                break
+            requests.append(PrefetchRequest(address=page + (current << 6),
+                                            level=self.fill_level))
+            deltas.append(delta)
+        return requests

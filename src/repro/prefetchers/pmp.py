@@ -1,0 +1,446 @@
+"""Pattern Merging Prefetcher (PMP) — the paper's contribution (Section IV).
+
+Mechanisms implemented, mapped to the paper:
+
+* **Pattern merging (IV-A)** — completed SMS bit vectors are anchored
+  (left-circular-shifted by the trigger offset) and merged into
+  :class:`CounterVector` s by per-offset counting; element 0 is the *time
+  counter* and saturating it halves the whole vector, decaying history.
+* **Prefetch pattern extraction (IV-B)** — three schemes: ANE (absolute
+  counts), ARE (ratios of the non-trigger sum) and the default AFE
+  (counter / time counter = access frequency), each mapping confidences to
+  fill levels via the T_l1d / T_l2c thresholds.
+* **Multi-feature prediction (IV-C)** — dual tagless direct-mapped tables:
+  the trigger-offset-indexed OPT (primary) and the PC-indexed PPT
+  (supplement) holding *coarse* counter vectors (``monitoring_range``
+  offsets per counter), combined by arbitration rules 1–4.
+* **Prefetch Buffer (IV-B end)** — predicted patterns wait in a 16-entry
+  LRU buffer; targets are issued nearest-the-trigger-first whenever the
+  target level's prefetch queue has room, resuming on later loads to the
+  same region ("no fixed prefetch degree").
+
+Every evaluated variant is a :class:`PMPConfig`: extraction scheme
+(V-E2), single-table / combined-feature structures (V-E3), pattern length
+(Table IX), trigger-offset width and counter size (Table X), monitoring
+range (Table XI), and the low-level degree cap of PMP-Limit (V-D, Fig 13).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from ..memtrace.access import hash_pc, lines_per_region, region_of
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+from .sms import CapturedPattern, PatternCaptureFramework
+
+
+@dataclass(frozen=True)
+class PMPConfig:
+    """All preset parameters (Table II) plus the ablation switches."""
+
+    region_bytes: int = 4096           # Table IX: 4KB/2KB/1KB
+    opt_counter_bits: int = 5          # Table X right
+    ppt_counter_bits: int = 5
+    monitoring_range: int = 2          # Table XI
+    trigger_offset_bits: int = 6       # Table X left
+    pc_bits: int = 5
+    t_l1d: float = 0.50                # AFE / ARE confidence thresholds
+    t_l2c: float = 0.15
+    ane_t_l1d: int = 16                # ANE absolute thresholds (V-E2)
+    ane_t_l2c: int = 5
+    extraction: str = "afe"            # "afe" | "ane" | "are"
+    structure: str = "dual"            # "dual" | "opt" | "ppt" | "combined"
+    pb_entries: int = 16
+    low_level_degree: int | None = None  # PMP-Limit: 1
+
+    @property
+    def pattern_length(self) -> int:
+        """Counters per vector (cachelines per region)."""
+        return lines_per_region(self.region_bytes)
+
+    @property
+    def ppt_pattern_length(self) -> int:
+        """Coarse counters per PPT vector."""
+        return self.pattern_length // self.monitoring_range
+
+    @property
+    def opt_entries(self) -> int:
+        """OPT rows (one per trigger-offset value)."""
+        return 1 << self.trigger_offset_bits
+
+    @property
+    def ppt_entries(self) -> int:
+        """PPT rows (one per hashed-PC value)."""
+        return 1 << self.pc_bits
+
+    def limited(self, degree: int = 1) -> "PMPConfig":
+        """The PMP-Limit variant (prefetch degree for L2C/LLC capped)."""
+        return replace(self, low_level_degree=degree)
+
+
+class CounterVector:
+    """A merged pattern: one saturating counter per anchored offset.
+
+    ``counters[0]`` is the time counter (the trigger offset after
+    anchoring, incremented by every merge).  When it saturates, all
+    elements are halved — old records fade but their frequencies are
+    (nearly) preserved, which is why AFE needs no retraining after a
+    halving (Section IV-B footnote).
+    """
+
+    __slots__ = ("counters", "max_value")
+
+    def __init__(self, length: int, counter_bits: int) -> None:
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be >= 1")
+        self.counters = [0] * length
+        self.max_value = (1 << counter_bits) - 1
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    @property
+    def time_counter(self) -> int:
+        """Element 0: incremented by every merge."""
+        return self.counters[0]
+
+    def merge(self, anchored_bits: int) -> None:
+        """Merge one anchored bit vector (bit 0 must be the trigger)."""
+        counters = self.counters
+        max_value = self.max_value
+        for i in range(len(counters)):
+            if anchored_bits >> i & 1 and counters[i] < max_value:
+                counters[i] += 1
+        if counters[0] >= max_value:
+            self.counters = [c >> 1 for c in counters]
+
+    def frequencies(self) -> list[float]:
+        """counter / time-counter per offset (AFE confidences)."""
+        time = self.counters[0]
+        if time == 0:
+            return [0.0] * len(self.counters)
+        return [c / time for c in self.counters]
+
+    def ratios(self) -> list[float]:
+        """counter / sum-of-non-trigger-counters per offset (ARE)."""
+        total = sum(self.counters[1:])
+        if total == 0:
+            return [0.0] * len(self.counters)
+        return [c / total for c in self.counters]
+
+
+def coarsen_bits(bits: int, length: int, group: int) -> int:
+    """OR adjacent groups of `group` bits (Fig 6d: 10100001 -> 1101)."""
+    if group == 1:
+        return bits
+    out = 0
+    for i in range(length // group):
+        chunk = (bits >> (i * group)) & ((1 << group) - 1)
+        if chunk:
+            out |= 1 << i
+    return out
+
+
+# --------------------------------------------------------------- extraction
+
+def extract_afe(vector: CounterVector, t_l1d: float, t_l2c: float) -> dict[int, FillLevel]:
+    """Access-Frequency-based Extraction: the default scheme."""
+    pattern: dict[int, FillLevel] = {}
+    time = vector.counters[0]
+    if time == 0:
+        return pattern
+    for i, counter in enumerate(vector.counters):
+        if i == 0:
+            continue  # the trigger offset itself is never prefetched
+        frequency = counter / time
+        if frequency >= t_l1d:
+            pattern[i] = FillLevel.L1D
+        elif frequency >= t_l2c:
+            pattern[i] = FillLevel.L2C
+    return pattern
+
+
+def extract_ane(vector: CounterVector, t_l1d: int, t_l2c: int) -> dict[int, FillLevel]:
+    """Access-Number-based Extraction: absolute counter thresholds."""
+    pattern: dict[int, FillLevel] = {}
+    for i, counter in enumerate(vector.counters):
+        if i == 0:
+            continue
+        if counter >= t_l1d:
+            pattern[i] = FillLevel.L1D
+        elif counter >= t_l2c:
+            pattern[i] = FillLevel.L2C
+    return pattern
+
+
+def extract_are(vector: CounterVector, t_l1d: float, t_l2c: float) -> dict[int, FillLevel]:
+    """Access-Ratio-based Extraction: ratios of the non-trigger sum.
+
+    Implicitly caps the prefetch depth at 1/threshold targets — the
+    trade-off Section IV-B criticises (streams starve it).
+    """
+    pattern: dict[int, FillLevel] = {}
+    total = sum(vector.counters[1:])
+    if total == 0:
+        return pattern
+    for i, counter in enumerate(vector.counters):
+        if i == 0:
+            continue
+        ratio = counter / total
+        if ratio >= t_l1d:
+            pattern[i] = FillLevel.L1D
+        elif ratio >= t_l2c:
+            pattern[i] = FillLevel.L2C
+    return pattern
+
+
+# -------------------------------------------------------------- arbitration
+
+def arbitrate(opt_pattern: dict[int, FillLevel],
+              ppt_pattern: dict[int, FillLevel],
+              monitoring_range: int) -> dict[int, FillLevel]:
+    """Combine OPT and PPT candidate patterns (Section IV-C rules 1–4).
+
+    ``ppt_pattern`` is keyed by coarse index (anchored offset divided by
+    the monitoring range).  Rules:
+
+    1. L1D only if both tables predict L1D for the offset;
+    2. both predict but either says L2C → L2C;
+    3. PPT has no predictions at all → every OPT level is downgraded;
+    4. OPT empty → nothing (PPT-only targets are discarded).
+    """
+    if not opt_pattern:
+        return {}
+    final: dict[int, FillLevel] = {}
+    ppt_silent = not ppt_pattern
+    for index, opt_level in opt_pattern.items():
+        if ppt_silent:
+            final[index] = opt_level.downgraded()
+            continue
+        ppt_level = ppt_pattern.get(index // monitoring_range)
+        if ppt_level is None:
+            final[index] = opt_level.downgraded()
+        elif opt_level == FillLevel.L1D and ppt_level == FillLevel.L1D:
+            final[index] = FillLevel.L1D
+        else:
+            final[index] = FillLevel.L2C if FillLevel.L2C in (opt_level, ppt_level) \
+                else max(opt_level, ppt_level)
+    return final
+
+
+# ----------------------------------------------------------- prefetch buffer
+
+class PrefetchBuffer:
+    """16-entry LRU buffer of pending prefetch patterns, keyed by region.
+
+    Targets are ordered nearest-the-trigger-first at insertion; issue
+    consumes from the front as prefetch-queue space allows.
+    """
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._data: OrderedDict[int, list[tuple[int, FillLevel]]] = OrderedDict()
+
+    def insert(self, region: int, targets: list[tuple[int, FillLevel]]) -> None:
+        """Store a region's pending targets (LRU-evicting)."""
+        if region in self._data:
+            self._data.pop(region)
+        elif len(self._data) >= self.entries:
+            self._data.popitem(last=False)
+        self._data[region] = targets
+
+    def pending(self, region: int) -> list[tuple[int, FillLevel]] | None:
+        """Pending targets for a region (touches LRU), or None."""
+        targets = self._data.get(region)
+        if targets is not None:
+            self._data.move_to_end(region)
+        return targets
+
+    def consume(self, region: int, count: int) -> None:
+        """Drop the first `count` targets of a region."""
+        targets = self._data.get(region)
+        if targets is None:
+            return
+        del targets[:count]
+        if not targets:
+            self._data.pop(region)
+
+    def drain(self, region: int, view: SystemView) -> list[PrefetchRequest]:
+        """Emit as many of a region's pending targets as the machine can
+        take right now (per-level PQ/MSHR headroom); keep the rest.
+
+        This is the paper's "no fixed prefetch degree" issue discipline;
+        the other bit-vector prefetchers in this repo share it so the
+        comparison isolates pattern storage and prediction, not queueing.
+        """
+        pending = self.pending(region)
+        if not pending:
+            return []
+        budget = {level: view.prefetch_headroom(level) for level in FillLevel}
+        requests: list[PrefetchRequest] = []
+        consumed = 0
+        for address, level in pending:
+            if budget[level] <= 0:
+                break
+            budget[level] -= 1
+            requests.append(PrefetchRequest(address=address, level=level))
+            consumed += 1
+        self.consume(region, consumed)
+        return requests
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+# -------------------------------------------------------------------- PMP
+
+class PMP(Prefetcher):
+    """The Pattern Merging Prefetcher."""
+
+    name = "pmp"
+
+    def __init__(self, config: PMPConfig | None = None) -> None:
+        self.config = config or PMPConfig()
+        cfg = self.config
+        self.capture = PatternCaptureFramework(cfg.region_bytes)
+        length = cfg.pattern_length
+        self.opt = [CounterVector(length, cfg.opt_counter_bits)
+                    for _ in range(cfg.opt_entries)]
+        self.ppt = [CounterVector(self._ppt_length(), cfg.ppt_counter_bits)
+                    for _ in range(cfg.ppt_entries)]
+        if cfg.structure == "combined":
+            self.combined = [CounterVector(length, cfg.opt_counter_bits)
+                             for _ in range(cfg.opt_entries * cfg.ppt_entries)]
+        else:
+            self.combined = []
+        self.pb = PrefetchBuffer(cfg.pb_entries)
+        self.predictions = 0
+
+    def _ppt_length(self) -> int:
+        # The single-PPT ablation uses full-length vectors ("same size as
+        # the OPT"); the dual structure uses coarse vectors.
+        if self.config.structure == "ppt":
+            return self.config.pattern_length
+        return self.config.ppt_pattern_length
+
+    # ------------------------------------------------------------- training
+
+    def _opt_index(self, trigger_offset: int) -> int:
+        # With width >= 6 the offset (0..63) indexes directly; narrower
+        # widths fold offsets together (Table X shows the quality cost).
+        return trigger_offset % self.config.opt_entries
+
+    def _ppt_index(self, pc: int) -> int:
+        return hash_pc(pc, self.config.pc_bits)
+
+    def _merge(self, pattern: CapturedPattern) -> None:
+        anchored = pattern.anchored()
+        cfg = self.config
+        if cfg.structure == "combined":
+            index = (self._opt_index(pattern.trigger_offset) << cfg.pc_bits) \
+                | self._ppt_index(pattern.pc)
+            self.combined[index].merge(anchored)
+            return
+        if cfg.structure in ("dual", "opt"):
+            self.opt[self._opt_index(pattern.trigger_offset)].merge(anchored)
+        if cfg.structure in ("dual", "ppt"):
+            if cfg.structure == "ppt":
+                ppt_bits = anchored
+            else:
+                ppt_bits = coarsen_bits(anchored, cfg.pattern_length,
+                                        cfg.monitoring_range)
+            self.ppt[self._ppt_index(pattern.pc)].merge(ppt_bits)
+
+    # ------------------------------------------------------------ prediction
+
+    def _extract(self, vector: CounterVector) -> dict[int, FillLevel]:
+        cfg = self.config
+        if cfg.extraction == "afe":
+            return extract_afe(vector, cfg.t_l1d, cfg.t_l2c)
+        if cfg.extraction == "ane":
+            return extract_ane(vector, cfg.ane_t_l1d, cfg.ane_t_l2c)
+        if cfg.extraction == "are":
+            return extract_are(vector, cfg.t_l1d, cfg.t_l2c)
+        raise ValueError(f"unknown extraction scheme {cfg.extraction!r}")
+
+    def _predict(self, pc: int, trigger_offset: int) -> dict[int, FillLevel]:
+        """Final anchored prefetch pattern for one trigger access."""
+        cfg = self.config
+        if cfg.structure == "combined":
+            index = (self._opt_index(trigger_offset) << cfg.pc_bits) \
+                | self._ppt_index(pc)
+            return self._extract(self.combined[index])
+        if cfg.structure == "opt":
+            return self._extract(self.opt[self._opt_index(trigger_offset)])
+        if cfg.structure == "ppt":
+            return self._extract(self.ppt[self._ppt_index(pc)])
+        opt_pattern = self._extract(self.opt[self._opt_index(trigger_offset)])
+        ppt_pattern = self._extract(self.ppt[self._ppt_index(pc)])
+        return arbitrate(opt_pattern, ppt_pattern, cfg.monitoring_range)
+
+    def _targets_for(self, region: int, trigger_offset: int,
+                     pattern: dict[int, FillLevel]) -> list[tuple[int, FillLevel]]:
+        """Anchored pattern -> (absolute address, level), nearest-first.
+
+        Anchored index i maps to absolute offset (trigger + i) mod length,
+        the inverse of the anchoring rotation; nearest-first ordering uses
+        the circular distance from the trigger.
+        """
+        cfg = self.config
+        length = cfg.pattern_length
+        ordered = sorted(pattern.items(), key=lambda kv: min(kv[0], length - kv[0]))
+        if cfg.low_level_degree is not None:
+            kept: list[tuple[int, FillLevel]] = []
+            low_level_budget = cfg.low_level_degree
+            for index, level in ordered:
+                if level == FillLevel.L1D:
+                    kept.append((index, level))
+                elif low_level_budget > 0:
+                    kept.append((index, level))
+                    low_level_budget -= 1
+            ordered = kept
+        targets = []
+        for index, level in ordered:
+            offset = (trigger_offset + index) % length
+            targets.append((region + (offset << 6), level))
+        return targets
+
+    def _issue_from_pb(self, region: int,
+                       view: SystemView) -> list[PrefetchRequest]:
+        """Drain as many PB targets as the per-level PQs can take now."""
+        return self.pb.drain(region, view)
+
+    # --------------------------------------------------------------- hooks
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        is_trigger, offset, completed = self.capture.observe(pc, address)
+        for pattern in completed:
+            self._merge(pattern)
+        region = region_of(address, self.config.region_bytes)
+        if is_trigger:
+            final_pattern = self._predict(pc, offset)
+            if final_pattern:
+                self.predictions += 1
+                self.pb.insert(region,
+                               self._targets_for(region, offset, final_pattern))
+        return self._issue_from_pb(region, view)
+
+    def on_evict(self, line_address: int) -> None:
+        pattern = self.capture.end_region(
+            region_of(line_address, self.config.region_bytes))
+        if pattern is not None:
+            self._merge(pattern)
+
+
+def make_pmp(**overrides) -> PMP:
+    """Convenience constructor: ``make_pmp(extraction="ane")`` etc."""
+    return PMP(PMPConfig(**overrides))
+
+
+def make_pmp_limit(degree: int = 1) -> PMP:
+    """PMP-Limit: low-level (L2C/LLC) prefetch degree capped (Fig 13)."""
+    pmp = PMP(PMPConfig().limited(degree))
+    pmp.name = "pmp-limit"
+    return pmp

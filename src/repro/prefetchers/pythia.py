@@ -1,0 +1,128 @@
+"""Pythia — reinforcement-learning prefetcher (Bera et al., MICRO 2021).
+
+Pythia frames prefetching as an RL problem: the *state* is a program
+feature vector (we use hashed PC + last in-page delta, its strongest
+reported combination), the *actions* are prefetch offsets in a small
+candidate list (plus "no prefetch"), and the *reward* scores accuracy and
+timeliness.  Q-values live in hashed vault tables; **one prefetch is
+issued per demand access**, the property the PMP paper points to when
+explaining Pythia's limited prefetch depth (Section V-B).
+
+This implementation keeps the published skeleton — epsilon-greedy action
+selection over a Q-table with optimistic initialisation, reward from
+prefetch-outcome feedback, a small negative reward for useless prefetches
+and a tiny one for sitting idle — with SARSA's bootstrapped update
+simplified to a per-action running average (a contextual bandit), which
+preserves steady-state action preferences for trace-driven evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..memtrace.access import PAGE_BYTES, hash_pc
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+_LINES_PER_PAGE = PAGE_BYTES // 64
+
+
+class Pythia(Prefetcher):
+    """Tabular RL prefetcher, one action per demand."""
+
+    name = "pythia"
+
+    DEFAULT_ACTIONS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, -1, -2, -4, -8)
+
+    def __init__(self, *, actions: tuple[int, ...] | None = None,
+                 table_size: int = 4096, alpha: float = 0.15,
+                 epsilon: float = 0.006, optimistic_init: float = 0.5,
+                 reward_useful: float = 1.0, reward_useless: float = -1.0,
+                 reward_idle: float = 0.05,
+                 fill_level: FillLevel = FillLevel.L2C,
+                 seed: int = 0xA11CE) -> None:
+        self.actions = actions or self.DEFAULT_ACTIONS
+        self.table_size = table_size
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.reward_useful = reward_useful
+        self.reward_useless = reward_useless
+        self.reward_idle = reward_idle
+        self.fill_level = fill_level
+        self._q = [[optimistic_init] * len(self.actions)
+                   for _ in range(table_size)]
+        self._last_offset: OrderedDict[int, int] = OrderedDict()
+        # line -> (state, action index) awaiting an outcome.
+        self._pending: OrderedDict[int, tuple[int, int]] = OrderedDict()
+        self._rng_state = seed or 1
+
+    # Deterministic xorshift so runs are reproducible without numpy overhead.
+    def _rand(self) -> float:
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._rng_state = x
+        return (x & 0xFFFFFF) / float(1 << 24)
+
+    def _state(self, pc: int, delta: int) -> int:
+        mixed = (hash_pc(pc, 16) << 8) ^ (delta & 0xFF)
+        return (mixed * 0x9E3779B1 & 0xFFFFFFFF) % self.table_size
+
+    def _choose(self, state: int) -> int:
+        if self._rand() < self.epsilon:
+            return int(self._rand() * len(self.actions)) % len(self.actions)
+        row = self._q[state]
+        best, best_value = 0, row[0]
+        for i, value in enumerate(row):
+            if value > best_value:
+                best, best_value = i, value
+        return best
+
+    def _reward(self, line: int, reward: float) -> None:
+        pending = self._pending.pop(line, None)
+        if pending is None:
+            return
+        state, action = pending
+        row = self._q[state]
+        row[action] += self.alpha * (reward - row[action])
+
+    def on_prefetch_useful(self, address: int, level: FillLevel) -> None:
+        self._reward(address >> 6, self.reward_useful)
+
+    def on_prefetch_useless(self, address: int, level: FillLevel) -> None:
+        self._reward(address >> 6, self.reward_useless)
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        page = address & ~(PAGE_BYTES - 1)
+        offset = (address & (PAGE_BYTES - 1)) >> 6
+        last = self._last_offset.get(page)
+        if page in self._last_offset:
+            self._last_offset.move_to_end(page)
+        elif len(self._last_offset) >= 256:
+            self._last_offset.popitem(last=False)
+        self._last_offset[page] = offset
+        delta = 0 if last is None else offset - last
+
+        state = self._state(pc, delta)
+        action_index = self._choose(state)
+        action = self.actions[action_index]
+        if action == 0:
+            # Idle keeps a small positive value so noisy states settle on
+            # not prefetching rather than thrashing.
+            row = self._q[state]
+            row[action_index] += self.alpha * (self.reward_idle - row[action_index])
+            return []
+        target_offset = offset + action
+        if not 0 <= target_offset < _LINES_PER_PAGE:
+            return []
+        target = page + (target_offset << 6)
+        line = target >> 6
+        if len(self._pending) >= 1024:
+            # Unresolved oldest entries count as useless (timed out).
+            stale_line, (stale_state, stale_action) = self._pending.popitem(last=False)
+            stale_row = self._q[stale_state]
+            stale_row[stale_action] += self.alpha * (
+                self.reward_useless - stale_row[stale_action])
+        self._pending[line] = (state, action_index)
+        return [PrefetchRequest(address=target, level=self.fill_level)]

@@ -1,0 +1,249 @@
+"""SMS-style pattern capture framework (paper Section II-B) and plain SMS.
+
+The framework is the front end PMP, Bingo, DSPatch and the motivation
+analyses all share.  It watches L1D loads and produces one *bit-vector
+pattern* per region generation:
+
+1. the first access to a region allocates a **Filter Table** (FT) entry
+   recording the PC and the *trigger offset*;
+2. a second access at a different offset promotes the region to the
+   **Accumulation Table** (AT) with a two-bit pattern;
+3. further accesses set more bits;
+4. the pattern completes when the region's data leaves the cache (we hook
+   L1D evictions) or when its AT entry is evicted for capacity.
+
+Completed patterns are delivered to the owner as :class:`CapturedPattern`
+records.  Bit vectors are Python ints (bit ``i`` = offset ``i`` accessed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..memtrace.access import hash_pc, lines_per_region, offset_of, region_of
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+
+@dataclass(frozen=True, slots=True)
+class CapturedPattern:
+    """One completed region generation."""
+
+    region: int
+    pc: int
+    trigger_offset: int
+    bit_vector: int
+    length: int
+
+    def offsets(self) -> list[int]:
+        """Accessed offsets, ascending."""
+        return [i for i in range(self.length) if self.bit_vector >> i & 1]
+
+    def anchored(self) -> int:
+        """Bit vector left-circular-shifted by the trigger offset.
+
+        After anchoring, bit 0 is always set (the trigger itself) and bit
+        ``i`` means "offset trigger+i (mod length) was accessed" — the form
+        PMP's counter vectors merge (Fig 6a).
+        """
+        return rotate_left(self.bit_vector, self.trigger_offset, self.length)
+
+
+def rotate_left(bits: int, amount: int, length: int) -> int:
+    """Left circular shift of a `length`-bit vector.
+
+    Anchoring convention: ``rotate_left(bv, trigger)`` moves the trigger
+    bit to position 0, so anchored position i corresponds to absolute
+    offset (trigger + i) mod length.
+    """
+    amount %= length
+    mask = (1 << length) - 1
+    return ((bits >> amount) | (bits << (length - amount))) & mask
+
+
+def rotate_right(bits: int, amount: int, length: int) -> int:
+    """Inverse of :func:`rotate_left`."""
+    return rotate_left(bits, length - (amount % length), length)
+
+
+class SetAssociativeTable:
+    """Small LRU set-associative table keyed by an integer (region address)."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        self._data: list[OrderedDict[int, object]] = [OrderedDict() for _ in range(sets)]
+
+    def _set_for(self, key: int) -> OrderedDict[int, object]:
+        return self._data[(key >> 12) % self.sets]
+
+    def get(self, key: int, *, touch: bool = True):
+        """Fetch by key, touching LRU unless touch=False."""
+        entry_set = self._set_for(key)
+        value = entry_set.get(key)
+        if value is not None and touch:
+            entry_set.move_to_end(key)
+        return value
+
+    def insert(self, key: int, value) -> tuple[int, object] | None:
+        """Insert; returns the (key, value) evicted for capacity, if any."""
+        entry_set = self._set_for(key)
+        victim = None
+        if key not in entry_set and len(entry_set) >= self.ways:
+            victim = entry_set.popitem(last=False)
+        entry_set[key] = value
+        entry_set.move_to_end(key)
+        return victim
+
+    def pop(self, key: int):
+        """Remove and return an entry, or None."""
+        return self._set_for(key).pop(key, None)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._set_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._data)
+
+
+@dataclass(slots=True)
+class _FilterEntry:
+    pc: int
+    trigger_offset: int
+
+
+@dataclass(slots=True)
+class _AccumulationEntry:
+    pc: int
+    trigger_offset: int
+    bit_vector: int
+
+
+class PatternCaptureFramework:
+    """Filter Table + Accumulation Table, PMP-sized by default (Table III)."""
+
+    def __init__(self, region_bytes: int = 4096, *,
+                 ft_sets: int = 8, ft_ways: int = 8,
+                 at_sets: int = 2, at_ways: int = 16) -> None:
+        self.region_bytes = region_bytes
+        self.pattern_length = lines_per_region(region_bytes)
+        self.filter_table = SetAssociativeTable(ft_sets, ft_ways)
+        self.accumulation_table = SetAssociativeTable(at_sets, at_ways)
+
+    def observe(self, pc: int, address: int) -> tuple[bool, int, list[CapturedPattern]]:
+        """Feed one L1D load.
+
+        Returns ``(is_trigger, trigger_offset_or_offset, completed)`` where
+        ``is_trigger`` marks the first access of a new region generation
+        (the access PMP predicts on) and ``completed`` holds patterns
+        finished by capacity evictions this step.
+        """
+        region = region_of(address, self.region_bytes)
+        offset = offset_of(address, self.region_bytes)
+        completed: list[CapturedPattern] = []
+
+        acc: _AccumulationEntry | None = self.accumulation_table.get(region)  # type: ignore[assignment]
+        if acc is not None:
+            acc.bit_vector |= 1 << offset
+            return False, offset, completed
+
+        filt: _FilterEntry | None = self.filter_table.get(region)  # type: ignore[assignment]
+        if filt is not None:
+            if offset == filt.trigger_offset:
+                return False, offset, completed  # same line again: still filtering
+            self.filter_table.pop(region)
+            entry = _AccumulationEntry(
+                pc=filt.pc, trigger_offset=filt.trigger_offset,
+                bit_vector=(1 << filt.trigger_offset) | (1 << offset))
+            victim = self.accumulation_table.insert(region, entry)
+            if victim is not None:
+                completed.append(self._finish(victim[0], victim[1]))
+            return False, offset, completed
+
+        victim = self.filter_table.insert(region, _FilterEntry(pc=pc, trigger_offset=offset))
+        # A region silently aged out of the FT produced no multi-access
+        # pattern; SMS drops it, and so do we.
+        return True, offset, completed
+
+    def end_region(self, region: int) -> CapturedPattern | None:
+        """Data from `region` was evicted: finish its accumulation, if any."""
+        entry = self.accumulation_table.pop(region)
+        if entry is None:
+            self.filter_table.pop(region)
+            return None
+        return self._finish(region, entry)
+
+    def _finish(self, region: int, entry) -> CapturedPattern:
+        return CapturedPattern(
+            region=region, pc=entry.pc, trigger_offset=entry.trigger_offset,
+            bit_vector=entry.bit_vector, length=self.pattern_length)
+
+    def drain(self) -> list[CapturedPattern]:
+        """Flush every in-flight accumulation (end of trace / analysis)."""
+        completed = []
+        for entry_set in self.accumulation_table._data:
+            for region, entry in entry_set.items():
+                completed.append(self._finish(region, entry))
+            entry_set.clear()
+        for entry_set in self.filter_table._data:
+            entry_set.clear()
+        return completed
+
+
+class SMSPrefetcher(Prefetcher):
+    """Plain Spatial Memory Streaming: PC+trigger-offset indexed bit vectors.
+
+    Kept as the historical baseline the paper builds on; on a trigger
+    access it replays the last pattern stored for (hashed PC, trigger
+    offset) into L2C.
+    """
+
+    name = "sms"
+
+    def __init__(self, region_bytes: int = 4096, *, table_sets: int = 64,
+                 table_ways: int = 8, pc_bits: int = 10,
+                 fill_level: FillLevel = FillLevel.L2C) -> None:
+        self.region_bytes = region_bytes
+        self.pattern_length = lines_per_region(region_bytes)
+        self.capture = PatternCaptureFramework(region_bytes)
+        self.pattern_table = SetAssociativeTable(table_sets, table_ways)
+        self.pc_bits = pc_bits
+        self.fill_level = fill_level
+        from .pmp import PrefetchBuffer  # local import avoids a module cycle
+        self.pb = PrefetchBuffer(entries=16)
+
+    def _key(self, pc: int, trigger_offset: int) -> int:
+        # Shift so SetAssociativeTable's >>12 set hash sees the variation.
+        return ((hash_pc(pc, self.pc_bits) << 6) | trigger_offset) << 12
+
+    def _learn(self, pattern: CapturedPattern) -> None:
+        self.pattern_table.insert(self._key(pattern.pc, pattern.trigger_offset),
+                                  pattern.anchored())
+
+    def on_evict(self, line_address: int) -> None:
+        pattern = self.capture.end_region(region_of(line_address, self.region_bytes))
+        if pattern is not None:
+            self._learn(pattern)
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        is_trigger, offset, completed = self.capture.observe(pc, address)
+        for pattern in completed:
+            self._learn(pattern)
+        region = region_of(address, self.region_bytes)
+        if not is_trigger:
+            return self.pb.drain(region, view)
+        anchored = self.pattern_table.get(self._key(pc, offset))
+        if anchored is None:
+            return self.pb.drain(region, view)
+        targets = []
+        length = self.pattern_length
+        for i in sorted(range(1, length), key=lambda i: min(i, length - i)):
+            if anchored >> i & 1:
+                target = region + (((offset + i) % length) << 6)
+                targets.append((target, self.fill_level))
+        if targets:
+            self.pb.insert(region, targets)
+        return self.pb.drain(region, view)

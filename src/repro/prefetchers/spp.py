@@ -1,0 +1,259 @@
+"""SPP — Signature Path Prefetcher (Kim et al., MICRO 2016) with the
+PPF perceptron filter (Bhatia et al., ISCA 2019) as SPP+PPF.
+
+SPP compresses the last few in-page deltas into a 12-bit *signature*,
+learns ``signature → next delta`` transitions with confidence counters,
+and speculatively walks the signature path: each lookahead step multiplies
+its delta confidence into a running *path confidence* and stops below a
+threshold.  This is the delta-sequence competitor (48.4KB with PPF) whose
+step-by-step lookahead the PMP paper contrasts with bit-vector replay.
+
+PPF wraps SPP: each SPP proposal is scored by a perceptron over nine
+features; strong sums fill L1D, weak ones L2C, negative ones are dropped.
+The perceptron trains online from prefetch outcome feedback
+(:meth:`on_prefetch_useful` / :meth:`on_prefetch_useless`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..memtrace.access import PAGE_BYTES, hash_pc
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+_SIG_BITS = 12
+_SIG_MASK = (1 << _SIG_BITS) - 1
+_LINES_PER_PAGE = PAGE_BYTES // 64
+
+
+def advance_signature(signature: int, delta: int) -> int:
+    """SPP's signature update: shift-and-xor of the (signed) delta."""
+    return ((signature << 3) ^ (delta & 0x3F)) & _SIG_MASK
+
+
+@dataclass
+class _PatternEntry:
+    """Per-signature delta candidates with confidence counters."""
+
+    deltas: dict[int, int] = field(default_factory=dict)  # delta -> count
+    total: int = 0
+
+    def update(self, delta: int, max_ways: int = 4) -> None:
+        """Record one observed delta with saturation and aging."""
+        if delta in self.deltas:
+            self.deltas[delta] += 1
+        elif len(self.deltas) < max_ways:
+            self.deltas[delta] = 1
+        else:
+            weakest = min(self.deltas, key=self.deltas.get)
+            if self.deltas[weakest] <= 1:
+                del self.deltas[weakest]
+                self.deltas[delta] = 1
+            else:
+                self.deltas[weakest] -= 1
+        self.total += 1
+        if self.total >= 128:
+            self.total >>= 1
+            for key in list(self.deltas):
+                self.deltas[key] >>= 1
+                if self.deltas[key] == 0:
+                    del self.deltas[key]
+
+    def best(self) -> tuple[int, float] | None:
+        """The most confident next delta, as (delta, confidence)."""
+        if not self.deltas or self.total == 0:
+            return None
+        delta = max(self.deltas, key=self.deltas.get)
+        return delta, self.deltas[delta] / max(1, self.total)
+
+
+@dataclass(slots=True)
+class _PageEntry:
+    signature: int = 0
+    last_offset: int = -1
+
+
+class SPP(Prefetcher):
+    """Signature Path Prefetcher with recursive lookahead."""
+
+    name = "spp"
+
+    def __init__(self, *, st_entries: int = 256, pt_entries: int = 512,
+                 path_threshold: float = 0.25, max_depth: int = 8,
+                 fill_level: FillLevel = FillLevel.L2C) -> None:
+        self.st: OrderedDict[int, _PageEntry] = OrderedDict()
+        self.st_entries = st_entries
+        self.pt: dict[int, _PatternEntry] = {}
+        self.pt_entries = pt_entries
+        self.path_threshold = path_threshold
+        self.max_depth = max_depth
+        self.fill_level = fill_level
+
+    def _page_entry(self, page: int) -> _PageEntry:
+        entry = self.st.get(page)
+        if entry is None:
+            if len(self.st) >= self.st_entries:
+                self.st.popitem(last=False)
+            entry = _PageEntry()
+            self.st[page] = entry
+        else:
+            self.st.move_to_end(page)
+        return entry
+
+    def _pattern(self, signature: int) -> _PatternEntry:
+        entry = self.pt.get(signature)
+        if entry is None:
+            if len(self.pt) >= self.pt_entries:
+                # Tables in hardware are direct-mapped; approximate with
+                # random-ish replacement of an arbitrary old entry.
+                self.pt.pop(next(iter(self.pt)))
+            entry = _PatternEntry()
+            self.pt[signature] = entry
+        return entry
+
+    def _walk(self, page: int, offset: int, signature: int) -> list[tuple[int, float]]:
+        """Lookahead walk. Returns [(line offset, path confidence), ...]."""
+        proposals: list[tuple[int, float]] = []
+        path_confidence = 1.0
+        current = offset
+        for _ in range(self.max_depth):
+            pattern = self.pt.get(signature)
+            if pattern is None:
+                break
+            best = pattern.best()
+            if best is None:
+                break
+            delta, confidence = best
+            path_confidence *= confidence
+            if path_confidence < self.path_threshold:
+                break
+            current += delta
+            if not 0 <= current < _LINES_PER_PAGE:
+                break  # SPP's GHR cross-page handling is out of scope
+            proposals.append((current, path_confidence))
+            signature = advance_signature(signature, delta)
+        return proposals
+
+    def propose(self, pc: int, address: int) -> list[tuple[int, int, float]]:
+        """Train on one access and return (address, depth, confidence) proposals."""
+        page = address & ~(PAGE_BYTES - 1)
+        offset = (address & (PAGE_BYTES - 1)) >> 6
+        entry = self._page_entry(page)
+        if entry.last_offset >= 0 and offset != entry.last_offset:
+            delta = offset - entry.last_offset
+            self._pattern(entry.signature).update(delta)
+            entry.signature = advance_signature(entry.signature, delta)
+        entry.last_offset = offset
+        proposals = self._walk(page, offset, entry.signature)
+        return [(page + (line << 6), depth, conf)
+                for depth, (line, conf) in enumerate(proposals)]
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        return [PrefetchRequest(address=target, level=self.fill_level)
+                for target, _, _ in self.propose(pc, address)]
+
+
+class _Perceptron:
+    """One hashed weight table of the PPF perceptron."""
+
+    __slots__ = ("weights", "mask", "_limit")
+
+    def __init__(self, size: int = 1024, weight_limit: int = 31) -> None:
+        self.weights = [0] * size
+        self.mask = size - 1
+        self._limit = weight_limit
+
+    def index(self, value: int) -> int:
+        """Hash a feature value into the weight table."""
+        return (value * 0x9E3779B1 & 0xFFFFFFFF) >> 16 & self.mask
+
+    def read(self, value: int) -> int:
+        """Weight for a feature value."""
+        return self.weights[self.index(value)]
+
+    def train(self, value: int, up: bool) -> None:
+        """Saturating increment/decrement of a feature weight."""
+        i = self.index(value)
+        if up:
+            self.weights[i] = min(self._limit, self.weights[i] + 1)
+        else:
+            self.weights[i] = max(-self._limit, self.weights[i] - 1)
+
+
+class SPPWithPPF(Prefetcher):
+    """SPP filtered by a nine-feature perceptron (the paper's SPP+PPF)."""
+
+    name = "spp+ppf"
+
+    FEATURES = 9
+
+    def __init__(self, *, tau_l1d: int = 8, tau_l2c: int = 0,
+                 spp: SPP | None = None, history_entries: int = 2048) -> None:
+        self.spp = spp or SPP(path_threshold=0.25, max_depth=8)
+        self.tau_l1d = tau_l1d
+        self.tau_l2c = tau_l2c
+        self.tables = [_Perceptron() for _ in range(self.FEATURES)]
+        # Issued-prefetch feature history for outcome training.
+        self._history: OrderedDict[int, tuple[int, ...]] = OrderedDict()
+        self._history_entries = history_entries
+
+    def _features(self, pc: int, address: int, target: int, depth: int,
+                  confidence: float) -> tuple[int, ...]:
+        page = address >> 12
+        offset = (address >> 6) & 0x3F
+        target_offset = (target >> 6) & 0x3F
+        delta = target_offset - offset
+        return (
+            hash_pc(pc, 16),                         # 1 PC
+            page & 0xFFFF,                           # 2 page address
+            offset,                                  # 3 current offset
+            target_offset,                           # 4 target offset
+            delta & 0x7F,                            # 5 delta
+            depth,                                   # 6 lookahead depth
+            int(confidence * 15),                    # 7 confidence bucket
+            (hash_pc(pc, 10) << 6) | offset,         # 8 PC+offset
+            (hash_pc(pc, 10) << 7) | (delta & 0x7F),  # 9 PC+delta
+        )
+
+    def _score(self, features: tuple[int, ...]) -> int:
+        return sum(table.read(value)
+                   for table, value in zip(self.tables, features))
+
+    def _remember(self, target: int, features: tuple[int, ...]) -> None:
+        line = target >> 6
+        if line in self._history:
+            self._history.move_to_end(line)
+        elif len(self._history) >= self._history_entries:
+            self._history.popitem(last=False)
+        self._history[line] = features
+
+    def _train(self, address: int, up: bool) -> None:
+        features = self._history.pop(address >> 6, None)
+        if features is None:
+            return
+        for table, value in zip(self.tables, features):
+            table.train(value, up)
+
+    def on_prefetch_useful(self, address: int, level: FillLevel) -> None:
+        self._train(address, up=True)
+
+    def on_prefetch_useless(self, address: int, level: FillLevel) -> None:
+        self._train(address, up=False)
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        requests = []
+        for target, depth, confidence in self.spp.propose(pc, address):
+            features = self._features(pc, address, target, depth, confidence)
+            score = self._score(features)
+            if score >= self.tau_l1d:
+                level = FillLevel.L1D
+            elif score >= self.tau_l2c:
+                level = FillLevel.L2C
+            else:
+                continue
+            self._remember(target, features)
+            requests.append(PrefetchRequest(address=target, level=level))
+        return requests

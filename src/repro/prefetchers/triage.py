@@ -1,0 +1,75 @@
+"""Triage — temporal key-value prefetching (Wu et al., MICRO 2019), §VI-C.
+
+Triage stores temporal correlations as key-value pairs (miss address →
+next miss address) in a partition carved out of the LLC — "up to the half
+storage of a LLC", the storage appetite PMP's related-work section calls
+unaffordable.  On a hit in the correlation table it prefetches the
+recorded successor (and, chained, its successor).
+
+Simplified model: a PC-localised last-miss register feeds an LRU-bounded
+correlation map; the `metadata_lines` bound stands in for the LLC
+partition (each key-value pair ≈ one cacheline of metadata in the real
+design, so the default bound models a 256KB partition).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..memtrace.access import hash_pc
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+
+class Triage(Prefetcher):
+    """Address-pair temporal prefetcher with a bounded metadata budget."""
+
+    name = "triage"
+
+    def __init__(self, *, metadata_lines: int = 4096, degree: int = 2,
+                 train_on_hits: bool = False,
+                 fill_level: FillLevel = FillLevel.L2C) -> None:
+        self.degree = degree
+        self.train_on_hits = train_on_hits
+        self.fill_level = fill_level
+        self.metadata_lines = metadata_lines
+        # line -> next line observed for the same PC stream.
+        self._next: OrderedDict[int, int] = OrderedDict()
+        # PC hash -> previous line of that stream.
+        self._last: OrderedDict[int, int] = OrderedDict()
+
+    def _remember_pair(self, previous: int, current: int) -> None:
+        if previous == current:
+            return
+        if previous in self._next:
+            self._next.move_to_end(previous)
+        elif len(self._next) >= self.metadata_lines:
+            self._next.popitem(last=False)
+        self._next[previous] = current
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        if hit and not self.train_on_hits:
+            # The real design trains on LLC misses; L1 hits carry little
+            # temporal novelty and would thrash the metadata partition.
+            return []
+        key = hash_pc(pc, 12)
+        line = address >> 6
+        previous = self._last.get(key)
+        if key in self._last:
+            self._last.move_to_end(key)
+        elif len(self._last) >= 512:
+            self._last.popitem(last=False)
+        self._last[key] = line
+        if previous is not None:
+            self._remember_pair(previous, line)
+
+        requests: list[PrefetchRequest] = []
+        current = line
+        for _ in range(self.degree):
+            successor = self._next.get(current)
+            if successor is None:
+                break
+            requests.append(PrefetchRequest(address=successor << 6,
+                                            level=self.fill_level))
+            current = successor
+        return requests

@@ -1,0 +1,142 @@
+"""VLDP — Variable Length Delta Prefetcher (Shevgoor et al., MICRO 2015).
+
+The related-work delta-sequence prefetcher (Section VI-B): per-page delta
+histories are matched against several **Delta Prediction Tables**, one per
+history length (1, 2 and 3 deltas), and the *longest matching history
+wins*.  Longer histories disambiguate interleaved patterns that a single
+last-delta predictor (or SPP's fixed-depth signature) conflates.
+
+Kept as a library prefetcher rather than a headline competitor (the paper
+compares against SPP+PPF from this family); it anchors the delta-sequence
+design point in tests, examples and custom studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..memtrace.access import PAGE_BYTES
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+_LINES_PER_PAGE = PAGE_BYTES // 64
+
+
+@dataclass(slots=True)
+class _PageState:
+    last_offset: int = -1
+    deltas: list = field(default_factory=list)  # most recent last
+
+
+class _DeltaTable:
+    """One DPT: history tuple of fixed length -> (best delta, confidence)."""
+
+    def __init__(self, history_length: int, entries: int = 256) -> None:
+        self.history_length = history_length
+        self.entries = entries
+        self._table: OrderedDict[tuple, dict[int, int]] = OrderedDict()
+
+    def update(self, history: tuple, next_delta: int) -> None:
+        """Record a history -> next-delta observation."""
+        if len(history) != self.history_length:
+            return
+        counts = self._table.get(history)
+        if counts is None:
+            if len(self._table) >= self.entries:
+                self._table.popitem(last=False)
+            counts = {}
+            self._table[history] = counts
+        else:
+            self._table.move_to_end(history)
+        counts[next_delta] = min(15, counts.get(next_delta, 0) + 1)
+        if len(counts) > 4:
+            weakest = min(counts, key=counts.get)
+            del counts[weakest]
+
+    def predict(self, history: tuple) -> tuple[int, int] | None:
+        """(delta, confidence count) for the best continuation, if known."""
+        counts = self._table.get(history)
+        if not counts:
+            return None
+        delta = max(counts, key=counts.get)
+        return delta, counts[delta]
+
+
+class VLDP(Prefetcher):
+    """Longest-matching-history delta prefetcher with chained lookahead."""
+
+    name = "vldp"
+
+    def __init__(self, *, max_history: int = 3, degree: int = 4,
+                 page_entries: int = 128, min_confidence: int = 2,
+                 fill_level: FillLevel = FillLevel.L2C) -> None:
+        if max_history < 1:
+            raise ValueError("max_history must be >= 1")
+        self.tables = [_DeltaTable(length)
+                       for length in range(1, max_history + 1)]
+        self.degree = degree
+        self.min_confidence = min_confidence
+        self.fill_level = fill_level
+        self._pages: OrderedDict[int, _PageState] = OrderedDict()
+        self._page_entries = page_entries
+
+    def _page(self, page: int) -> _PageState:
+        state = self._pages.get(page)
+        if state is None:
+            if len(self._pages) >= self._page_entries:
+                self._pages.popitem(last=False)
+            state = _PageState()
+            self._pages[page] = state
+        else:
+            self._pages.move_to_end(page)
+        return state
+
+    def _train(self, deltas: list[int]) -> None:
+        """Teach every table its history-length suffix -> newest delta."""
+        if len(deltas) < 2:
+            return
+        newest = deltas[-1]
+        history = deltas[:-1]
+        for table in self.tables:
+            n = table.history_length
+            if len(history) >= n:
+                table.update(tuple(history[-n:]), newest)
+
+    def _predict_next(self, deltas: list[int]) -> tuple[int, int] | None:
+        """Longest matching history wins (the VLDP arbitration rule)."""
+        for table in reversed(self.tables):
+            n = table.history_length
+            if len(deltas) < n:
+                continue
+            prediction = table.predict(tuple(deltas[-n:]))
+            if prediction is not None and prediction[1] >= self.min_confidence:
+                return prediction
+        return None
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        page = address & ~(PAGE_BYTES - 1)
+        offset = (address & (PAGE_BYTES - 1)) >> 6
+        state = self._page(page)
+        if state.last_offset >= 0 and offset != state.last_offset:
+            state.deltas.append(offset - state.last_offset)
+            if len(state.deltas) > 6:
+                del state.deltas[0]
+            self._train(state.deltas)
+        state.last_offset = offset
+
+        requests: list[PrefetchRequest] = []
+        deltas = list(state.deltas)
+        current = offset
+        for _ in range(self.degree):
+            prediction = self._predict_next(deltas)
+            if prediction is None:
+                break
+            delta, _ = prediction
+            current += delta
+            if not 0 <= current < _LINES_PER_PAGE:
+                break
+            requests.append(PrefetchRequest(address=page + (current << 6),
+                                            level=self.fill_level))
+            deltas.append(delta)
+        return requests

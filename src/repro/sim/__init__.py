@@ -1,0 +1,32 @@
+"""Trace-driven simulator substrate (the ChampSim substitute)."""
+
+from .cache import Cache, CacheLine, CacheStats
+from .core import Core
+from .dram import Dram, DramStats
+from .engine import compare, simulate
+from .hierarchy import Hierarchy, SharedLLC
+from .multicore import multicore_speedup, simulate_multicore
+from .params import CacheParams, CoreParams, DramParams, SystemConfig
+from .stats import LevelStats, SimResult, geomean
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "CacheParams",
+    "CacheStats",
+    "Core",
+    "CoreParams",
+    "Dram",
+    "DramParams",
+    "DramStats",
+    "Hierarchy",
+    "LevelStats",
+    "SharedLLC",
+    "SimResult",
+    "SystemConfig",
+    "compare",
+    "geomean",
+    "multicore_speedup",
+    "simulate",
+    "simulate_multicore",
+]

@@ -1,0 +1,247 @@
+"""Set-associative cache with LRU, prefetch bits, MSHRs, prefetch queues
+and *deferred fills*.
+
+A miss (demand or prefetch) does not insert its line immediately: the fill
+is scheduled on a pending heap and applied — evicting its victim — only
+when the data actually arrives (``ready_cycle``).  Demands that touch the
+line while the fill is in flight merge with it through the MSHR rather
+than re-requesting memory.  Applying fills lazily keeps eviction timing
+honest: a prefetch issued 200 cycles early must not shrink the cache for
+those 200 cycles.
+
+Useful/useless accounting (Fig 9/10): a demand hit on a line whose
+``prefetched`` bit is set makes the prefetch *useful* (bit cleared);
+evicting a line with the bit still set makes it *useless*.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections import OrderedDict
+
+from .params import CacheParams
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """State of one resident cacheline."""
+
+    ready_cycle: float = 0.0
+    prefetched: bool = False
+    dirty: bool = False
+
+
+@dataclass(slots=True)
+class PendingFill:
+    """A fill scheduled for the future (data still in flight)."""
+
+    ready: float
+    line: int
+    prefetched: bool
+    is_write: bool
+
+    def __lt__(self, other: "PendingFill") -> bool:
+        return self.ready < other.ready
+
+
+@dataclass
+class CacheStats:
+    """Per-level counters for the Fig 9 / Fig 10 metrics."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_fills: int = 0
+    useful_prefetches: int = 0
+    useless_prefetches: int = 0
+    late_prefetch_hits: int = 0
+    evictions: int = 0
+
+    def accuracy(self) -> float:
+        """Useful / (useful + useless); 0 when no prefetches resolved."""
+        total = self.useful_prefetches + self.useless_prefetches
+        return self.useful_prefetches / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class Cache:
+    """One set-associative level. Addresses are cacheline-granular ints."""
+
+    def __init__(self, params: CacheParams, name: str = "cache") -> None:
+        self.params = params
+        self.name = name
+        self.num_sets = params.num_sets
+        self.ways = params.ways
+        self._sets: list[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+        # Outstanding misses: line -> (completion cycle, is_prefetch).
+        self._mshr: dict[int, tuple[float, bool]] = {}
+        # Fills whose data has not arrived yet, ordered by readiness.
+        self.pending: list[PendingFill] = []
+        # In-flight prefetch-queue occupancy (entries free at issue time).
+        self._pq: list[float] = []
+
+    # ------------------------------------------------------------- residency
+
+    def _set_for(self, line: int) -> OrderedDict[int, CacheLine]:
+        return self._sets[line % self.num_sets]
+
+    def contains(self, line: int) -> bool:
+        """Presence check with no LRU or stats side effects."""
+        return line in self._set_for(line)
+
+    def probe(self, line: int) -> CacheLine | None:
+        """Peek at a resident line without touching LRU or stats."""
+        return self._set_for(line).get(line)
+
+    def lookup(self, line: int, cycle: float, is_write: bool = False) -> bool:
+        """Demand lookup (resident lines only — callers sync pending fills
+        first and handle in-flight merges through the MSHR).  Returns hit.
+        """
+        cache_set = self._set_for(line)
+        self.stats.demand_accesses += 1
+        entry = cache_set.get(line)
+        if entry is None:
+            self.stats.demand_misses += 1
+            return False
+        self.stats.demand_hits += 1
+        cache_set.move_to_end(line)
+        if is_write:
+            entry.dirty = True
+        if entry.prefetched:
+            entry.prefetched = False
+            self.stats.useful_prefetches += 1
+        return True
+
+    def fill_now(self, line: int, cycle: float, *, prefetched: bool = False,
+                 is_write: bool = False) -> tuple[int | None, CacheLine | None]:
+        """Apply a fill immediately (data is here).
+
+        Returns ``(victim_line, victim_state)`` — both ``None`` when no
+        eviction happened.
+        """
+        cache_set = self._set_for(line)
+        existing = cache_set.get(line)
+        if existing is not None:
+            # Refill of a resident line: refresh recency, never re-mark a
+            # demand-fetched line as a prefetch.
+            cache_set.move_to_end(line)
+            return None, None
+        victim = None
+        victim_entry = None
+        if len(cache_set) >= self.ways:
+            victim, victim_entry = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_entry.prefetched:
+                self.stats.useless_prefetches += 1
+        cache_set[line] = CacheLine(ready_cycle=cycle,
+                                    prefetched=prefetched, dirty=is_write)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim, victim_entry
+
+    def schedule_fill(self, line: int, ready: float, *, prefetched: bool = False,
+                      is_write: bool = False) -> None:
+        """Queue a fill to be applied when its data arrives."""
+        heapq.heappush(self.pending, PendingFill(
+            ready=ready, line=line, prefetched=prefetched, is_write=is_write))
+
+    def pop_ready_fills(self, cycle: float) -> list[PendingFill]:
+        """Remove and return every pending fill whose data has arrived."""
+        out: list[PendingFill] = []
+        pending = self.pending
+        while pending and pending[0].ready <= cycle:
+            out.append(heapq.heappop(pending))
+        return out
+
+    def invalidate(self, line: int) -> bool:
+        """Back-invalidation (inclusive LLC eviction). Returns True if present."""
+        cache_set = self._set_for(line)
+        entry = cache_set.pop(line, None)
+        if entry is None:
+            return False
+        if entry.prefetched:
+            self.stats.useless_prefetches += 1
+        return True
+
+    def flush_prefetch_accounting(self) -> None:
+        """End-of-run: resident never-used prefetched lines count as useless."""
+        for cache_set in self._sets:
+            for entry in cache_set.values():
+                if entry.prefetched:
+                    entry.prefetched = False
+                    self.stats.useless_prefetches += 1
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    # ----------------------------------------------------------------- MSHRs
+
+    def mshr_pending(self, line: int) -> float | None:
+        """Completion cycle of an outstanding miss on this line, if any."""
+        entry = self._mshr.get(line)
+        return entry[0] if entry is not None else None
+
+    def mshr_is_prefetch(self, line: int) -> bool:
+        """True if the outstanding miss on `line` is a prefetch."""
+        entry = self._mshr.get(line)
+        return entry is not None and entry[1]
+
+    def mshr_allocate(self, line: int, completion: float,
+                      now: float | None = None, *,
+                      is_prefetch: bool = False) -> None:
+        """Track an outstanding miss; prunes completed entries when `now`
+        is given so occupancy never grows stale."""
+        if now is not None:
+            self.mshr_prune(now)
+        self._mshr[line] = (completion, is_prefetch)
+
+    def mshr_release(self, line: int) -> None:
+        """Drop the MSHR entry for `line`, if any."""
+        self._mshr.pop(line, None)
+
+    def mshr_prune(self, cycle: float) -> None:
+        """Drop MSHR entries whose fills have completed."""
+        done = [line for line, (when, _) in self._mshr.items() if when <= cycle]
+        for line in done:
+            del self._mshr[line]
+
+    def mshr_release_completed(self, up_to: float) -> None:
+        """Drop every entry completed at or before `up_to`."""
+        self.mshr_prune(up_to)
+
+    def mshr_earliest(self) -> float:
+        """Completion cycle of the oldest outstanding miss."""
+        return min(when for when, _ in self._mshr.values())
+
+    def mshr_free(self, cycle: float) -> int:
+        """Free MSHR slots at `cycle` (prunes completed entries)."""
+        self.mshr_prune(cycle)
+        return self.params.mshr_entries - len(self._mshr)
+
+    def mshr_has_room_for_prefetch(self, cycle: float) -> bool:
+        """Prefetches may not take the last MSHR (paper Section IV-B)."""
+        return self.mshr_free(cycle) > 1
+
+    # ------------------------------------------------------------------- PQs
+
+    def pq_prune(self, cycle: float) -> None:
+        """Drop PQ entries whose issue window has passed."""
+        if self._pq:
+            self._pq = [when for when in self._pq if when > cycle]
+
+    def pq_free(self, cycle: float) -> int:
+        """Free prefetch-queue slots at `cycle`."""
+        self.pq_prune(cycle)
+        return max(0, self.params.pq_entries - len(self._pq))
+
+    def pq_push(self, completion: float) -> None:
+        """Occupy one PQ slot until `completion`."""
+        self._pq.append(completion)

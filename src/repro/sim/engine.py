@@ -1,0 +1,90 @@
+"""Single-core simulation driver.
+
+Mirrors the paper's methodology at reduced scale: the first
+``warmup_fraction`` of the trace warms caches and prefetcher state with
+stats discarded, the remainder is measured.  On every L1D load the engine
+(1) serves the demand through the hierarchy, (2) hands the access to the
+prefetcher, and (3) issues whatever prefetches the prefetcher returned,
+subject to PQ/MSHR admission in the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..memtrace.trace import Trace
+from ..prefetchers.base import NoPrefetcher, Prefetcher
+from .core import Core
+from .hierarchy import Hierarchy
+from .params import SystemConfig
+from .stats import SimResult, snapshot_level
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+
+def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
+             config: SystemConfig | None = None,
+             warmup_fraction: float = 0.2) -> SimResult:
+    """Run one trace through one prefetcher; returns the measured stats."""
+    if prefetcher is None:
+        prefetcher = NoPrefetcher()
+    if config is None:
+        config = SystemConfig.default()
+
+    hierarchy = Hierarchy.build(config, prefetcher)
+    core = Core(config.core)
+    warmup_end = int(len(trace) * warmup_fraction)
+    measured_start_instr = 0
+    measured_start_cycle = 0.0
+
+    for index, access in enumerate(trace.accesses):
+        if index == warmup_end:
+            hierarchy.reset_stats()
+            measured_start_instr = core.instructions
+            measured_start_cycle = core.cycle
+
+        if access.gap:
+            core.advance(access.gap)
+        issue_cycle = core.begin_load()
+        hierarchy.set_view_cycle(issue_cycle)
+        latency, l1_hit = hierarchy.demand_access(access.address, issue_cycle,
+                                                  access.is_write)
+        core.finish_load(latency)
+
+        requests = prefetcher.on_access(access.pc, access.address,
+                                        issue_cycle, l1_hit, hierarchy)
+        for request in requests:
+            hierarchy.issue_prefetch(request, issue_cycle)
+
+    core.drain()
+    hierarchy.flush_accounting()
+
+    return SimResult(
+        trace_name=trace.name,
+        prefetcher_name=prefetcher.name,
+        instructions=core.instructions - measured_start_instr,
+        cycles=core.cycle - measured_start_cycle,
+        levels={
+            "l1d": snapshot_level(hierarchy.l1d.stats),
+            "l2c": snapshot_level(hierarchy.l2c.stats),
+            "llc": snapshot_level(hierarchy.llc.stats),
+        },
+        dram_demand_requests=hierarchy.dram.stats.demand_requests,
+        dram_prefetch_requests=hierarchy.dram.stats.prefetch_requests,
+        dram_writeback_requests=hierarchy.dram.stats.writeback_requests,
+        issued_prefetches=dict(hierarchy.issued_prefetches),
+        dropped_prefetches=hierarchy.dropped_prefetches,
+    )
+
+
+def compare(trace: Trace, prefetcher_factories: dict[str, PrefetcherFactory],
+            config: SystemConfig | None = None,
+            warmup_fraction: float = 0.2) -> dict[str, SimResult]:
+    """Run several prefetchers (plus the no-prefetch baseline) on one trace.
+
+    Returns results keyed by name; the baseline is under ``"baseline"``.
+    """
+    results = {"baseline": simulate(trace, NoPrefetcher(), config, warmup_fraction)}
+    for name, factory in prefetcher_factories.items():
+        results[name] = simulate(trace, factory(), config, warmup_fraction)
+    return results

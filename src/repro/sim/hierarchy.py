@@ -1,0 +1,341 @@
+"""Three-level inclusive cache hierarchy with deferred multi-level fills.
+
+Misses and prefetches schedule their fills for the cycle the data arrives;
+the hierarchy *syncs* each cache (applies arrived fills, evicting victims
+at the honest time) before serving an access.  Demands that touch a line
+whose fill is still in flight merge with it through the MSHR — with their
+wait capped at a demand-priority refetch, because real memory controllers
+promote a demand that matches an in-flight prefetch.
+
+The LLC is inclusive (Table IV): evicting an LLC line back-invalidates it
+from every registered private L1D/L2C, which is also how useless shared
+prefetches propagate in the 4-core runs.
+"""
+
+from __future__ import annotations
+
+from ..memtrace.access import CACHELINE_BITS
+from ..prefetchers.base import FillLevel, PrefetchRequest, Prefetcher
+from .cache import Cache
+from .dram import Dram
+from .params import SystemConfig
+
+
+class SharedLLC:
+    """An LLC plus the registry of private caches it must keep inclusive."""
+
+    def __init__(self, cache: Cache) -> None:
+        self.cache = cache
+        self._private: list[Cache] = []
+
+    def register(self, *caches: Cache) -> None:
+        """Track private caches for inclusive back-invalidation."""
+        self._private.extend(caches)
+
+    def back_invalidate(self, line: int) -> None:
+        """Remove an evicted LLC line from every private cache."""
+        for cache in self._private:
+            cache.invalidate(line)
+
+
+class Hierarchy:
+    """One core's view of the memory system (L1D/L2C private, LLC/DRAM shared).
+
+    For single-core runs construct with :meth:`build`; multi-core runs
+    share one :class:`SharedLLC` and one :class:`Dram` across hierarchies.
+    """
+
+    def __init__(self, config: SystemConfig, prefetcher: Prefetcher,
+                 shared_llc: SharedLLC, dram: Dram, core_id: int = 0) -> None:
+        self.config = config
+        self.prefetcher = prefetcher
+        self.core_id = core_id
+        self.l1d = Cache(config.l1d, name=f"L1D{core_id}")
+        self.l2c = Cache(config.l2c, name=f"L2C{core_id}")
+        self.shared_llc = shared_llc
+        self.llc = shared_llc.cache
+        self.dram = dram
+        shared_llc.register(self.l1d, self.l2c)
+        self.issued_prefetches = {level: 0 for level in FillLevel}
+        self.dropped_prefetches = 0
+        self.drop_reasons = {"resident": 0, "pq_full": 0, "mshr_full": 0}
+
+    @classmethod
+    def build(cls, config: SystemConfig, prefetcher: Prefetcher) -> "Hierarchy":
+        """Construct a single-core hierarchy with its own LLC and DRAM."""
+        shared = SharedLLC(Cache(config.llc, name="LLC"))
+        return cls(config, prefetcher, shared, Dram(config.dram))
+
+    # ------------------------------------------------------------------ sync
+
+    def _sync(self, cycle: float) -> None:
+        """Apply every fill whose data has arrived by `cycle`."""
+        for fill in self.llc.pop_ready_fills(cycle):
+            self.llc.mshr_release(fill.line)
+            self._apply_llc_fill(fill.line, fill.ready, fill.prefetched)
+        for cache in (self.l2c, self.l1d):
+            for fill in cache.pop_ready_fills(cycle):
+                cache.mshr_release(fill.line)
+                self._apply_private_fill(cache, fill.line, fill.ready,
+                                         fill.prefetched, fill.is_write)
+
+    def _apply_private_fill(self, cache: Cache, line: int, cycle: float,
+                            prefetched: bool, is_write: bool) -> None:
+        victim, victim_entry = cache.fill_now(line, cycle, prefetched=prefetched,
+                                              is_write=is_write)
+        if victim is None:
+            return
+        if cache is self.l1d:
+            self.prefetcher.on_evict(victim << CACHELINE_BITS)
+        if victim_entry is not None and victim_entry.prefetched:
+            level = FillLevel.L1D if cache is self.l1d else FillLevel.L2C
+            self.prefetcher.on_prefetch_useless(victim << CACHELINE_BITS, level)
+        if victim_entry is not None and victim_entry.dirty:
+            # Dirty victims drain towards memory: L1 -> L2, L2 -> LLC.
+            below = self.l2c if cache is self.l1d else self.llc
+            below_entry = below.probe(victim)
+            if below_entry is not None:
+                below_entry.dirty = True
+            else:
+                self.dram.writeback(victim, cycle)
+
+    def _apply_llc_fill(self, line: int, cycle: float, prefetched: bool) -> None:
+        victim, victim_entry = self.llc.fill_now(line, cycle, prefetched=prefetched)
+        if victim is not None:
+            self.shared_llc.back_invalidate(victim)
+            if victim_entry is not None and victim_entry.prefetched:
+                self.prefetcher.on_prefetch_useless(victim << CACHELINE_BITS,
+                                                    FillLevel.LLC)
+            if victim_entry is not None and victim_entry.dirty:
+                self.dram.writeback(victim, cycle)
+
+    def _fill(self, cache: Cache, line: int, ready: float, cycle: float, *,
+              prefetched: bool = False, is_write: bool = False) -> None:
+        """Apply now if the data is already here, otherwise defer."""
+        if ready <= cycle:
+            if cache is self.llc:
+                self._apply_llc_fill(line, cycle, prefetched)
+            else:
+                self._apply_private_fill(cache, line, cycle, prefetched, is_write)
+        else:
+            cache.schedule_fill(line, ready, prefetched=prefetched,
+                                is_write=is_write)
+
+    # ----------------------------------------------------------- demand path
+
+    def _promote_wait(self, wait: float) -> float:
+        """Cap a merge wait at a demand-priority refetch.
+
+        A demand that matches an in-flight prefetch is promoted by the
+        memory controller; it never waits longer than issuing its own
+        prioritised request would take.
+        """
+        cap = self.dram.latency + 2 * self.dram.service_cycles
+        return min(wait, cap)
+
+    def _merge_wait(self, cache: Cache, line: int, cycle: float,
+                    level: FillLevel, address: int) -> float | None:
+        """Wait for an in-flight miss on this line at one level, if any."""
+        pending = cache.mshr_pending(line)
+        if pending is None:
+            return None
+        if cache.mshr_is_prefetch(line):
+            # Late prefetch caught by a demand: useful, but tardy.
+            cache.stats.useful_prefetches += 1
+            cache.stats.late_prefetch_hits += 1
+            self.prefetcher.on_prefetch_useful(address, level)
+            # The arriving fill must not be double-counted as useful later.
+            cache.mshr_allocate(line, pending, is_prefetch=False)
+            self._strip_pending_prefetch_flag(cache, line)
+        return self._promote_wait(max(0.0, pending - cycle))
+
+    def _strip_pending_prefetch_flag(self, cache: Cache, line: int) -> None:
+        for fill in cache.pending:
+            if fill.line == line:
+                fill.prefetched = False
+
+    def demand_access(self, address: int, cycle: float,
+                      is_write: bool = False) -> tuple[float, bool]:
+        """Serve one demand access. Returns (total latency, L1D hit)."""
+        self._sync(cycle)
+        line = address >> CACHELINE_BITS
+        l1_entry = self.l1d.probe(line)
+        l1_was_prefetched = l1_entry is not None and l1_entry.prefetched
+        if self.l1d.lookup(line, cycle, is_write):
+            if l1_was_prefetched:
+                self.prefetcher.on_prefetch_useful(address, FillLevel.L1D)
+            return float(self.config.l1d.hit_latency), True
+
+        latency = float(self.config.l1d.hit_latency)
+        merge = self._merge_wait(self.l1d, line, cycle, FillLevel.L1D, address)
+        if merge is not None:
+            return latency + merge, False
+        latency += self._mshr_stall(self.l1d, cycle)
+
+        l2_entry = self.l2c.probe(line)
+        l2_was_prefetched = l2_entry is not None and l2_entry.prefetched
+        if self.l2c.lookup(line, cycle + latency, is_write):
+            if l2_was_prefetched:
+                self.prefetcher.on_prefetch_useful(address, FillLevel.L2C)
+            latency += self.config.l2c.hit_latency
+            self._fill(self.l1d, line, cycle + latency, cycle, is_write=is_write)
+            return latency, False
+
+        latency += self.config.l2c.hit_latency
+        merge = self._merge_wait(self.l2c, line, cycle, FillLevel.L2C, address)
+        if merge is not None:
+            ready = cycle + latency + merge
+            self._fill(self.l1d, line, ready, cycle, is_write=is_write)
+            return latency + merge, False
+
+        llc_entry = self.llc.probe(line)
+        llc_was_prefetched = llc_entry is not None and llc_entry.prefetched
+        if self.llc.lookup(line, cycle + latency, is_write):
+            if llc_was_prefetched:
+                self.prefetcher.on_prefetch_useful(address, FillLevel.LLC)
+            latency += self.config.llc.hit_latency
+            ready = cycle + latency
+            self._fill(self.l2c, line, ready, cycle)
+            self._fill(self.l1d, line, ready, cycle, is_write=is_write)
+            return latency, False
+
+        latency += self.config.llc.hit_latency
+        merge = self._merge_wait(self.llc, line, cycle, FillLevel.LLC, address)
+        if merge is not None:
+            ready = cycle + latency + merge
+            self._fill(self.l2c, line, ready, cycle)
+            self._fill(self.l1d, line, ready, cycle, is_write=is_write)
+            return latency + merge, False
+
+        completion = self.dram.request(line, cycle + latency)
+        self.l1d.mshr_allocate(line, completion, now=cycle)
+        self.l2c.mshr_allocate(line, completion, now=cycle)
+        self.llc.mshr_allocate(line, completion, now=cycle)
+        self.llc.schedule_fill(line, completion)
+        self.l2c.schedule_fill(line, completion)
+        self.l1d.schedule_fill(line, completion, is_write=is_write)
+        return completion - cycle, False
+
+    def _mshr_stall(self, cache: Cache, cycle: float) -> float:
+        """Cycles a demand waits until a level's MSHRs admit a new miss."""
+        waited = 0.0
+        while cache.mshr_free(cycle + waited) <= 0:
+            earliest = cache.mshr_earliest()
+            if earliest <= cycle + waited:
+                cache.mshr_release_completed(earliest)
+                continue
+            waited = earliest - cycle
+        return waited
+
+    # --------------------------------------------------------- prefetch path
+
+    def issue_prefetch(self, request: PrefetchRequest, cycle: float) -> bool:
+        """Try to issue one prefetch; returns True if it was accepted.
+
+        Rejections (already resident or in flight close enough, PQ full,
+        no spare MSHR) mirror the hardware conditions the paper describes.
+        """
+        self._sync(cycle)
+        line = request.address >> CACHELINE_BITS
+        level = request.level
+        target = {FillLevel.L1D: self.l1d, FillLevel.L2C: self.l2c,
+                  FillLevel.LLC: self.llc}[level]
+
+        if self._already_close_enough(line, level):
+            self.drop_reasons["resident"] += 1
+            return False
+        if target.pq_free(cycle) <= 0:
+            self.dropped_prefetches += 1
+            self.drop_reasons["pq_full"] += 1
+            return False
+        if not target.mshr_has_room_for_prefetch(cycle):
+            self.dropped_prefetches += 1
+            self.drop_reasons["mshr_full"] += 1
+            return False
+
+        if self.llc.contains(line) and level != FillLevel.LLC:
+            # On-chip move: promote from LLC without DRAM traffic.
+            ready = cycle + self.config.llc.hit_latency
+        else:
+            llc_pending = self.llc.mshr_pending(line)
+            if llc_pending is not None:
+                # Piggy-back on the fetch already in flight.
+                ready = llc_pending
+            else:
+                arrival = cycle + self.config.llc.hit_latency
+                ready = self.dram.request(line, arrival, is_prefetch=True)
+            target.mshr_allocate(line, ready, now=cycle, is_prefetch=True)
+
+        if level == FillLevel.L1D:
+            self._fill(self.l1d, line, ready, cycle, prefetched=True)
+            self._fill(self.l2c, line, ready, cycle)
+            self._fill_llc_if_absent(line, ready, cycle)
+        elif level == FillLevel.L2C:
+            self._fill(self.l2c, line, ready, cycle, prefetched=True)
+            self._fill_llc_if_absent(line, ready, cycle)
+        else:
+            self._fill(self.llc, line, ready, cycle, prefetched=True)
+
+        # A PQ entry holds the request only until it is handed to the
+        # memory system (ChampSim semantics), not until the fill lands.
+        target.pq_push(cycle + target.params.hit_latency)
+        self.issued_prefetches[level] += 1
+        self.prefetcher.on_prefetch_fill(request.address, level)
+        return True
+
+    def _fill_llc_if_absent(self, line: int, ready: float, cycle: float) -> None:
+        if not self.llc.contains(line):
+            self._fill(self.llc, line, ready, cycle)
+
+    def _already_close_enough(self, line: int, level: FillLevel) -> bool:
+        """Resident or in flight at/above the target level already."""
+        if self.l1d.contains(line) or self.l1d.mshr_pending(line) is not None:
+            return True
+        if level >= FillLevel.L2C and (
+                self.l2c.contains(line) or self.l2c.mshr_pending(line) is not None):
+            return True
+        return level == FillLevel.LLC and (
+            self.llc.contains(line) or self.llc.mshr_pending(line) is not None)
+
+    # ----------------------------------------------------------- SystemView
+
+    def free_pq_entries(self, level: FillLevel) -> int:
+        """Free prefetch-queue slots at a level (SystemView)."""
+        cache = {FillLevel.L1D: self.l1d, FillLevel.L2C: self.l2c,
+                 FillLevel.LLC: self.llc}[level]
+        return cache.pq_free(self._view_cycle)
+
+    def prefetch_headroom(self, level: FillLevel) -> int:
+        """What a level can actually take now: min of PQ room and MSHR room
+        (one MSHR is always reserved for demands)."""
+        cache = {FillLevel.L1D: self.l1d, FillLevel.L2C: self.l2c,
+                 FillLevel.LLC: self.llc}[level]
+        mshr_room = max(0, cache.mshr_free(self._view_cycle) - 1)
+        return min(cache.pq_free(self._view_cycle), mshr_room)
+
+    def dram_utilization(self) -> float:
+        """Coarse DRAM busy fraction (SystemView)."""
+        return self.dram.utilization_hint(self._view_cycle)
+
+    _view_cycle: float = 0.0
+
+    def set_view_cycle(self, cycle: float) -> None:
+        """Engine sets the cycle SystemView queries are answered at."""
+        self._view_cycle = cycle
+
+    # ------------------------------------------------------------- lifecycle
+
+    def flush_accounting(self) -> None:
+        """Resolve still-resident prefetched lines as useless (end of run)."""
+        self._sync(float("inf"))
+        for cache in (self.l1d, self.l2c, self.llc):
+            cache.flush_prefetch_accounting()
+
+    def reset_stats(self) -> None:
+        """Clear all counters (used at the warmup/measurement boundary)."""
+        for cache in (self.l1d, self.l2c, self.llc):
+            cache.stats.reset()
+        self.dram.stats.reset()
+        self.issued_prefetches = {level: 0 for level in FillLevel}
+        self.dropped_prefetches = 0
+        self.drop_reasons = {"resident": 0, "pq_full": 0, "mshr_full": 0}

@@ -1,0 +1,103 @@
+"""System configuration (paper Table IV).
+
+Defaults mirror the ChampSim configuration the paper simulates: a 4GHz
+4-wide core with a 352-entry ROB and 128-entry LQ; 48KB/12-way L1D,
+512KB/8-way L2C, 2MB/16-way inclusive LLC; one 3200 MT/s DRAM channel for
+single-core runs (two channels for 4-core runs).  All knobs that the
+paper's sensitivity studies sweep (DRAM MT/s for Fig 12a, LLC size for
+Fig 12b, core count for Fig 13) are plain fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..memtrace.access import CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """One cache level's geometry and queues."""
+
+    size_bytes: int
+    ways: int
+    hit_latency: int
+    mshr_entries: int
+    pq_entries: int
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by size, ways and 64B lines."""
+        lines = self.size_bytes // CACHELINE_BYTES
+        if lines % self.ways != 0:
+            raise ValueError("cache size not divisible by ways")
+        return lines // self.ways
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """DRAM channel model: fixed access latency + service-rate queueing."""
+
+    mt_per_sec: int = 3200
+    channels: int = 1
+    base_latency_cycles: int = 200
+    freq_ghz: float = 4.0
+
+    @property
+    def service_cycles(self) -> float:
+        """Core cycles one 64B line transfer occupies a channel.
+
+        MT/s transfers of 8 bytes each: 3200 MT/s = 25.6 GB/s, so a 64B
+        line takes 2.5ns = 10 cycles at 4GHz.
+        """
+        bytes_per_sec = self.mt_per_sec * 1e6 * 8
+        seconds = CACHELINE_BYTES / bytes_per_sec
+        return seconds * self.freq_ghz * 1e9
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Out-of-order core approximation knobs (Table IV core row)."""
+
+    width: int = 4
+    rob_entries: int = 352
+    lq_entries: int = 128
+    freq_ghz: float = 4.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full simulated system; ``default()`` reproduces Table IV."""
+
+    core: CoreParams = field(default_factory=CoreParams)
+    l1d: CacheParams = field(default_factory=lambda: CacheParams(
+        size_bytes=48 * 1024, ways=12, hit_latency=5,
+        mshr_entries=16, pq_entries=8))
+    l2c: CacheParams = field(default_factory=lambda: CacheParams(
+        size_bytes=512 * 1024, ways=8, hit_latency=10,
+        mshr_entries=32, pq_entries=16))
+    llc: CacheParams = field(default_factory=lambda: CacheParams(
+        size_bytes=2 * 1024 * 1024, ways=16, hit_latency=20,
+        mshr_entries=64, pq_entries=32))
+    dram: DramParams = field(default_factory=DramParams)
+
+    @classmethod
+    def default(cls) -> "SystemConfig":
+        """The paper Table IV configuration."""
+        return cls()
+
+    def with_dram_rate(self, mt_per_sec: int) -> "SystemConfig":
+        """Fig 12a knob: swap the DRAM transfer rate."""
+        return replace(self, dram=replace(self.dram, mt_per_sec=mt_per_sec))
+
+    def with_llc_size(self, size_bytes: int) -> "SystemConfig":
+        """Fig 12b knob: grow the LLC by adding sets (ways fixed at 16)."""
+        scale = size_bytes // (2 * 1024 * 1024)
+        return replace(self, llc=replace(
+            self.llc, size_bytes=size_bytes,
+            mshr_entries=64 * max(1, scale), pq_entries=32 * max(1, scale)))
+
+    def for_multicore(self, cores: int) -> "SystemConfig":
+        """4-core setup: paper uses 8GB over 2 channels at 3200 MT/s."""
+        channels = 2 if cores > 1 else 1
+        return replace(self, dram=replace(self.dram, channels=channels))

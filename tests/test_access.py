@@ -1,0 +1,84 @@
+"""Address arithmetic and PC hashing."""
+
+from hypothesis import given, strategies as st
+
+from repro.memtrace.access import (
+    CACHELINE_BYTES,
+    MemoryAccess,
+    hash_pc,
+    line_address,
+    lines_per_region,
+    offset_of,
+    region_of,
+)
+
+import pytest
+
+
+class TestDecomposition:
+    def test_region_alignment(self):
+        assert region_of(0x12345) == 0x12000
+        assert region_of(0x12000) == 0x12000
+
+    def test_offset_is_cacheline_index(self):
+        assert offset_of(0x12000) == 0
+        assert offset_of(0x12000 + 64) == 1
+        assert offset_of(0x12000 + 4095) == 63
+
+    def test_smaller_regions(self):
+        assert lines_per_region(2048) == 32
+        assert lines_per_region(1024) == 16
+        assert offset_of(0x12000 + 2047, 2048) == 31
+
+    def test_lines_per_region_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            lines_per_region(100)
+
+    def test_line_address_roundtrip(self):
+        address = line_address(0x7000, 13)
+        assert region_of(address) == 0x7000
+        assert offset_of(address) == 13
+
+
+class TestMemoryAccess:
+    def test_properties(self):
+        access = MemoryAccess(pc=0x400, address=0x12345, is_write=True, gap=7)
+        assert access.cacheline == 0x12345 // CACHELINE_BYTES
+        assert access.region() == 0x12000
+        assert access.offset() == offset_of(0x12345)
+        assert access.is_write and access.gap == 7
+
+    def test_frozen(self):
+        access = MemoryAccess(pc=1, address=2)
+        with pytest.raises(AttributeError):
+            access.pc = 3
+
+
+class TestHashPC:
+    def test_within_range(self):
+        for bits in (4, 5, 8, 12):
+            assert 0 <= hash_pc(0xDEADBEEF, bits) < (1 << bits)
+
+    def test_deterministic(self):
+        assert hash_pc(0x401234, 5) == hash_pc(0x401234, 5)
+
+    def test_high_bits_influence_hash(self):
+        # A plain mask would map these to the same slot.
+        values = {hash_pc(0x400000 + (i << 20), 5) for i in range(8)}
+        assert len(values) > 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_range_property(self, pc, bits):
+        assert 0 <= hash_pc(pc, bits) < (1 << bits)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+       st.sampled_from([1024, 2048, 4096]))
+def test_region_offset_reconstruction(address, region_bytes):
+    region = region_of(address, region_bytes)
+    offset = offset_of(address, region_bytes)
+    line = address & ~63
+    assert region + offset * 64 == line
+    assert region % region_bytes == 0
+    assert 0 <= offset < lines_per_region(region_bytes)

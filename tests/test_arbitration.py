@@ -1,0 +1,102 @@
+"""Dual-table arbitration rules 1-4 (Section IV-C) and coarse vectors.
+
+The paper's Fig 6e worked example: OPT candidate (0,0,L1,0,L1,0,0,L2) and
+coarse PPT candidate (0,L1,0,L2) arbitrate to (0,0,L1,0,L2,0,0,L2).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.prefetchers.base import FillLevel
+from repro.prefetchers.pmp import arbitrate, coarsen_bits
+
+L1, L2, L3 = FillLevel.L1D, FillLevel.L2C, FillLevel.LLC
+
+
+class TestPaperExample:
+    def test_fig6e_arbitration(self):
+        opt = {2: L1, 4: L1, 7: L2}
+        ppt = {1: L1, 3: L2}   # coarse indices (monitoring range 2)
+        final = arbitrate(opt, ppt, monitoring_range=2)
+        assert final == {2: L1, 4: L2, 7: L2}
+
+    def test_fig6d_coarsening(self):
+        # "The 8-bit vector 10100001 is reduced to 1101" — strings read
+        # bit 0 first, so 10100001 = bits {0, 2, 7} and 1101 = bits {0, 1, 3}.
+        bits = (1 << 0) | (1 << 2) | (1 << 7)
+        assert coarsen_bits(bits, 8, 2) == (1 << 0) | (1 << 1) | (1 << 3)
+
+
+class TestRules:
+    def test_rule1_l1_requires_both(self):
+        final = arbitrate({2: L1}, {1: L1}, 2)
+        assert final[2] == L1
+        final = arbitrate({2: L1}, {1: L2}, 2)
+        assert final[2] == L2
+
+    def test_rule2_l2_if_either_says_l2(self):
+        assert arbitrate({2: L2}, {1: L1}, 2)[2] == L2
+        assert arbitrate({2: L1}, {1: L2}, 2)[2] == L2
+        assert arbitrate({2: L2}, {1: L2}, 2)[2] == L2
+
+    def test_rule3_silent_ppt_downgrades_everything(self):
+        final = arbitrate({1: L1, 3: L2}, {}, 2)
+        assert final == {1: L2, 3: L3}
+
+    def test_rule4_empty_opt_yields_nothing(self):
+        assert arbitrate({}, {0: L1, 1: L1}, 2) == {}
+
+    def test_ppt_only_targets_are_discarded(self):
+        # "discard the targets given by the PPT that are not included in
+        # the targets given by the OPT"
+        final = arbitrate({2: L1}, {1: L1, 5: L1, 9: L1}, 2)
+        assert set(final) == {2}
+
+    def test_offset_missing_from_ppt_is_downgraded(self):
+        final = arbitrate({2: L1, 8: L1}, {1: L1}, 2)
+        assert final[2] == L1
+        assert final[8] == L2  # coarse index 4 absent from PPT
+
+
+class TestMonitoringRange:
+    def test_coarse_index_mapping(self):
+        # With range 4, anchored offsets 4..7 share coarse index 1.
+        for offset in (4, 5, 6, 7):
+            final = arbitrate({offset: L1}, {1: L1}, 4)
+            assert final[offset] == L1
+
+    def test_range_one_is_identity(self):
+        bits = 0b10110101
+        assert coarsen_bits(bits, 8, 1) == bits
+
+    def test_coarsen_range_four(self):
+        bits = (1 << 0) | (1 << 5)
+        assert coarsen_bits(bits, 8, 4) == 0b11
+
+    def test_coarsen_empty(self):
+        assert coarsen_bits(0, 64, 2) == 0
+
+
+@given(st.dictionaries(st.integers(min_value=1, max_value=63),
+                       st.sampled_from([L1, L2]), max_size=16),
+       st.dictionaries(st.integers(min_value=0, max_value=31),
+                       st.sampled_from([L1, L2]), max_size=16))
+def test_arbitration_never_upgrades(opt, ppt):
+    """The final level is never closer to the core than the OPT's."""
+    final = arbitrate(opt, ppt, monitoring_range=2)
+    assert set(final) <= set(opt)
+    for index, level in final.items():
+        assert level >= opt[index]  # FillLevel order: L1D < L2C < LLC
+
+
+@given(st.dictionaries(st.integers(min_value=1, max_value=63),
+                       st.sampled_from([L1, L2]), max_size=16))
+def test_silent_ppt_downgrade_is_uniform(opt):
+    final = arbitrate(opt, {}, 2)
+    for index, level in final.items():
+        assert level == opt[index].downgraded()
+
+
+def test_fill_level_downgrade_saturates_at_llc():
+    assert L1.downgraded() == L2
+    assert L2.downgraded() == L3
+    assert L3.downgraded() == L3

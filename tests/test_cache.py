@@ -1,0 +1,179 @@
+"""Cache level: LRU, deferred fills, MSHRs, PQs, prefetch accounting."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.cache import Cache
+from repro.sim.params import CacheParams
+
+
+def small_cache(ways=2, sets=2, mshr=4, pq=4):
+    return Cache(CacheParams(size_bytes=64 * ways * sets, ways=ways,
+                             hit_latency=1, mshr_entries=mshr, pq_entries=pq))
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(10, 0.0)
+        cache.fill_now(10, 0.0)
+        assert cache.lookup(10, 1.0)
+        assert cache.stats.demand_hits == 1
+        assert cache.stats.demand_misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill_now(0, 0.0)
+        cache.fill_now(1, 0.0)
+        cache.lookup(0, 1.0)            # 0 becomes MRU
+        victim, _ = cache.fill_now(2, 2.0)
+        assert victim == 1
+
+    def test_refill_does_not_evict(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill_now(0, 0.0)
+        cache.fill_now(1, 0.0)
+        victim, _ = cache.fill_now(0, 1.0)
+        assert victim is None
+        assert cache.resident_lines() == 2
+
+    def test_refill_never_marks_demand_line_as_prefetch(self):
+        cache = small_cache()
+        cache.fill_now(5, 0.0)
+        cache.fill_now(5, 1.0, prefetched=True)
+        cache.lookup(5, 2.0)
+        assert cache.stats.useful_prefetches == 0
+
+    def test_write_sets_dirty(self):
+        cache = small_cache()
+        cache.fill_now(5, 0.0)
+        cache.lookup(5, 1.0, is_write=True)
+        assert cache.probe(5).dirty
+
+
+class TestDeferredFills:
+    def test_scheduled_fill_not_resident_until_ready(self):
+        cache = small_cache()
+        cache.schedule_fill(7, ready=100.0)
+        assert not cache.contains(7)
+        ready = cache.pop_ready_fills(50.0)
+        assert ready == []
+        ready = cache.pop_ready_fills(100.0)
+        assert len(ready) == 1 and ready[0].line == 7
+
+    def test_fills_pop_in_ready_order(self):
+        cache = small_cache()
+        cache.schedule_fill(1, ready=30.0)
+        cache.schedule_fill(2, ready=10.0)
+        cache.schedule_fill(3, ready=20.0)
+        lines = [f.line for f in cache.pop_ready_fills(100.0)]
+        assert lines == [2, 3, 1]
+
+
+class TestPrefetchAccounting:
+    def test_useful_on_demand_hit(self):
+        cache = small_cache()
+        cache.fill_now(3, 0.0, prefetched=True)
+        cache.lookup(3, 1.0)
+        assert cache.stats.useful_prefetches == 1
+        # Second hit doesn't double count.
+        cache.lookup(3, 2.0)
+        assert cache.stats.useful_prefetches == 1
+
+    def test_useless_on_eviction(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill_now(0, 0.0, prefetched=True)
+        cache.fill_now(1, 1.0)
+        assert cache.stats.useless_prefetches == 1
+
+    def test_useless_on_invalidate(self):
+        cache = small_cache()
+        cache.fill_now(0, 0.0, prefetched=True)
+        assert cache.invalidate(0)
+        assert cache.stats.useless_prefetches == 1
+        assert not cache.invalidate(0)
+
+    def test_flush_counts_residents(self):
+        cache = small_cache()
+        cache.fill_now(0, 0.0, prefetched=True)
+        cache.fill_now(1, 0.0, prefetched=True)
+        cache.lookup(0, 1.0)
+        cache.flush_prefetch_accounting()
+        assert cache.stats.useful_prefetches == 1
+        assert cache.stats.useless_prefetches == 1
+
+    def test_accuracy(self):
+        cache = small_cache()
+        cache.fill_now(0, 0.0, prefetched=True)
+        cache.fill_now(1, 0.0, prefetched=True)
+        cache.lookup(0, 1.0)
+        cache.invalidate(1)
+        assert cache.stats.accuracy() == 0.5
+
+
+class TestMSHR:
+    def test_allocate_and_pending(self):
+        cache = small_cache()
+        cache.mshr_allocate(9, 50.0, now=0.0)
+        assert cache.mshr_pending(9) == 50.0
+        assert cache.mshr_free(0.0) == 3
+
+    def test_prune_releases_completed(self):
+        cache = small_cache()
+        cache.mshr_allocate(9, 50.0)
+        assert cache.mshr_free(60.0) == 4
+
+    def test_prefetch_flag(self):
+        cache = small_cache()
+        cache.mshr_allocate(9, 50.0, is_prefetch=True)
+        assert cache.mshr_is_prefetch(9)
+        cache.mshr_allocate(9, 50.0, is_prefetch=False)
+        assert not cache.mshr_is_prefetch(9)
+
+    def test_last_mshr_reserved_for_demands(self):
+        cache = small_cache(mshr=2)
+        cache.mshr_allocate(1, 100.0)
+        assert not cache.mshr_has_room_for_prefetch(0.0)
+        cache.mshr_release(1)
+        assert cache.mshr_has_room_for_prefetch(0.0)
+
+    def test_earliest(self):
+        cache = small_cache()
+        cache.mshr_allocate(1, 30.0)
+        cache.mshr_allocate(2, 20.0)
+        assert cache.mshr_earliest() == 20.0
+
+
+class TestPQ:
+    def test_occupancy_and_prune(self):
+        cache = small_cache(pq=2)
+        cache.pq_push(10.0)
+        cache.pq_push(20.0)
+        assert cache.pq_free(0.0) == 0
+        assert cache.pq_free(15.0) == 1
+        assert cache.pq_free(25.0) == 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                max_size=300))
+def test_occupancy_never_exceeds_capacity(lines):
+    cache = small_cache(ways=3, sets=4)
+    for i, line in enumerate(lines):
+        cache.fill_now(line, float(i))
+        for s in cache._sets:
+            assert len(s) <= cache.ways
+    assert cache.resident_lines() <= cache.ways * cache.num_sets
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                          st.booleans()), min_size=1, max_size=200))
+def test_accounting_identity(events):
+    """useful + useless never exceeds prefetch fills after a flush."""
+    cache = small_cache(ways=2, sets=2)
+    for i, (line, prefetched) in enumerate(events):
+        if cache.probe(line) is None:
+            cache.fill_now(line, float(i), prefetched=prefetched)
+        else:
+            cache.lookup(line, float(i))
+    cache.flush_prefetch_accounting()
+    stats = cache.stats
+    assert stats.useful_prefetches + stats.useless_prefetches == stats.prefetch_fills

@@ -1,0 +1,111 @@
+"""ChampSim trace format adapter."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.memtrace import synthetic as syn
+from repro.memtrace.access import MemoryAccess
+from repro.memtrace.champsim import (
+    RECORD_BYTES,
+    iter_records,
+    pack_record,
+    read_champsim,
+    roundtrip,
+    write_champsim,
+)
+from repro.memtrace.trace import Trace
+
+
+class TestRecordFormat:
+    def test_record_is_64_bytes(self):
+        assert len(pack_record(0x400000)) == RECORD_BYTES == 64
+
+    def test_operand_limits(self):
+        with pytest.raises(ValueError):
+            pack_record(0, destination_memory=(1, 2, 3))
+        with pytest.raises(ValueError):
+            pack_record(0, source_memory=(1, 2, 3, 4, 5))
+
+    def test_iter_records_parses_operands(self):
+        stream = io.BytesIO(
+            pack_record(0x400, source_memory=(0x1000, 0x2000)) +
+            pack_record(0x404, destination_memory=(0x3000,)) +
+            pack_record(0x408))
+        records = list(iter_records(stream))
+        assert records == [(0x400, [0x1000, 0x2000], []),
+                           (0x404, [], [0x3000]),
+                           (0x408, [], [])]
+
+    def test_truncated_record_rejected(self):
+        stream = io.BytesIO(b"\x00" * 30)
+        with pytest.raises(ValueError):
+            list(iter_records(stream))
+
+
+class TestConversion:
+    def test_gaps_accumulate_nonmemory_instructions(self):
+        stream = io.BytesIO(
+            pack_record(0x1) + pack_record(0x2) + pack_record(0x3) +
+            pack_record(0x400, source_memory=(0x1000,)))
+        trace = read_champsim(stream)
+        assert len(trace) == 1
+        assert trace[0].gap == 3
+        assert trace[0].pc == 0x400 and not trace[0].is_write
+
+    def test_stores_marked_as_writes(self):
+        stream = io.BytesIO(pack_record(0x400, destination_memory=(0x1000,)))
+        trace = read_champsim(stream)
+        assert trace[0].is_write
+
+    def test_multi_operand_instruction(self):
+        stream = io.BytesIO(pack_record(
+            0x400, source_memory=(0x1000, 0x2000), destination_memory=(0x3000,)))
+        trace = read_champsim(stream)
+        assert len(trace) == 3
+        assert trace[0].gap == 0 and trace[1].gap == 0
+
+    def test_window_selection(self):
+        records = b"".join(pack_record(0x400, source_memory=(i * 64,))
+                           for i in range(1, 11))
+        trace = read_champsim(io.BytesIO(records), skip_instructions=3,
+                              max_instructions=4)
+        assert [a.address for a in trace.accesses] == [4 * 64, 5 * 64,
+                                                       6 * 64, 7 * 64]
+
+    def test_file_path_roundtrip(self, tmp_path):
+        trace = Trace("t")
+        trace.append(MemoryAccess(pc=0x400, address=0x1000, gap=2))
+        path = tmp_path / "trace.champsim"
+        written = write_champsim(trace, path)
+        assert written == 3  # 2 filler + 1 memory record
+        assert path.stat().st_size == 3 * RECORD_BYTES
+        loaded = read_champsim(path)
+        assert loaded.accesses == trace.accesses
+
+
+class TestRoundtrip:
+    def test_synthetic_trace_roundtrips(self):
+        rng = np.random.default_rng(0)
+        trace = Trace("s")
+        trace.extend(syn.pattern_replay(rng, 500))
+        back = roundtrip(trace)
+        assert back.accesses == trace.accesses
+
+    def test_roundtrip_preserves_instruction_count(self):
+        rng = np.random.default_rng(1)
+        trace = Trace("s")
+        trace.extend(syn.stream(rng, 200))
+        back = roundtrip(trace)
+        assert back.instruction_count == trace.instruction_count
+
+    def test_converted_trace_simulates(self):
+        from repro import PMP
+        from repro.sim.engine import simulate
+        rng = np.random.default_rng(2)
+        trace = Trace("s")
+        trace.extend(syn.stream(rng, 3000))
+        back = roundtrip(trace)
+        result = simulate(back, PMP())
+        assert result.ipc > 0

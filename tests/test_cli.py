@@ -1,0 +1,56 @@
+"""CLI: argument handling and one fast end-to-end command."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestParser:
+    def test_storage_command_runs(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "4.3KB" in out or "4.26" in out or "pmp" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_all_commands_registered(self):
+        expected = {"fig8", "fig9", "table1", "fig2", "fig4", "fig5",
+                    "table8", "extraction", "structures", "table9",
+                    "table10", "table11", "fig12a", "fig12b", "fig13",
+                    "storage"}
+        assert set(COMMANDS) == expected
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--accesses", "4000", "--traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Pattern Collision Rate" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--accesses", "4000", "--traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "top 10 share" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--accesses", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "Trigger Offset" in out
+
+    def test_table9_small(self, capsys):
+        assert main(["table9", "--accesses", "3000", "--traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern length" in out and "overhead" in out
+
+    def test_structures_small(self, capsys):
+        assert main(["structures", "--accesses", "3000", "--traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dual" in out
+
+    def test_trace_cache_option(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table9", "--accesses", "2000", "--traces", "1",
+                     "--trace-cache", cache_dir]) == 0
+        import pathlib
+        assert list(pathlib.Path(cache_dir).glob("*.pmptrc"))

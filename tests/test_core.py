@@ -1,0 +1,111 @@
+"""Run-ahead core model: IPC accounting, LQ/ROB limits, drain."""
+
+from repro.sim.core import Core
+from repro.sim.params import CoreParams
+
+
+def make_core(width=4, rob=32, lq=8):
+    return Core(CoreParams(width=width, rob_entries=rob, lq_entries=lq))
+
+
+class TestBasicAccounting:
+    def test_advance_charges_width(self):
+        core = make_core(width=4)
+        core.advance(8)
+        assert core.cycle == 2.0
+        assert core.instructions == 8
+
+    def test_ipc_of_pure_compute(self):
+        core = make_core(width=4)
+        core.advance(400)
+        assert abs(core.ipc - 4.0) < 1e-9
+
+    def test_load_retires_one_instruction(self):
+        core = make_core()
+        core.begin_load()
+        core.finish_load(10.0)
+        assert core.instructions == 1
+
+
+class TestOverlap:
+    def test_independent_loads_overlap(self):
+        """A few long loads inside the window cost ~no stall."""
+        core = make_core(rob=256, lq=64)
+        for _ in range(4):
+            core.advance(10)
+            core.begin_load()
+            core.finish_load(100.0)
+        # 44 instructions at width 4 = 11 cycles; loads overlap fully.
+        assert core.cycle < 15.0
+
+    def test_lq_full_stalls(self):
+        core = make_core(rob=1 << 20, lq=2)
+        core.begin_load()
+        core.finish_load(1000.0)
+        core.begin_load()
+        core.finish_load(1000.0)
+        issue = core.begin_load()   # third load: wait for the first
+        assert issue >= 1000.0
+
+    def test_rob_limit_stalls(self):
+        core = make_core(rob=16, lq=1 << 20)
+        core.begin_load()
+        core.finish_load(500.0)
+        core.advance(20)            # run-ahead exceeds ROB of 16
+        issue = core.begin_load()
+        assert issue >= 500.0
+
+    def test_completed_loads_free_the_window(self):
+        core = make_core(rob=16, lq=2)
+        core.begin_load()
+        core.finish_load(0.5)       # completes almost immediately
+        core.advance(8)
+        issue = core.begin_load()   # no stall: first load done
+        assert issue < 5.0
+
+
+class TestDrain:
+    def test_drain_waits_for_outstanding(self):
+        core = make_core()
+        core.begin_load()
+        core.finish_load(250.0)
+        core.drain()
+        assert core.cycle >= 250.0
+
+    def test_drain_idempotent(self):
+        core = make_core()
+        core.begin_load()
+        core.finish_load(50.0)
+        core.drain()
+        cycle = core.cycle
+        core.drain()
+        assert core.cycle == cycle
+
+    def test_ipc_zero_before_any_work(self):
+        assert make_core().ipc == 0.0
+
+
+class TestLatencySensitivity:
+    def test_longer_latency_lowers_ipc(self):
+        def run(latency):
+            core = make_core(rob=64, lq=16)
+            for _ in range(200):
+                core.advance(10)
+                core.begin_load()
+                core.finish_load(latency)
+            core.drain()
+            return core.ipc
+
+        assert run(10.0) > run(200.0)
+
+    def test_wider_window_raises_ipc_under_misses(self):
+        def run(rob):
+            core = make_core(rob=rob, lq=rob // 2)
+            for _ in range(200):
+                core.advance(10)
+                core.begin_load()
+                core.finish_load(200.0)
+            core.drain()
+            return core.ipc
+
+        assert run(256) > run(16)

@@ -1,0 +1,125 @@
+"""CounterVector: merging, time counter, halving (paper Section IV-A).
+
+The paper's Fig 6a worked example is ground truth: merging the anchored
+vector of access sequence P+2, P+1, P+4 (trigger 2) into counter vector
+(3,0,3,0,3,0,0,0) must give (4,0,4,0,3,0,0,1).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.prefetchers.pmp import CounterVector
+from repro.prefetchers.sms import rotate_left
+
+import pytest
+
+
+def make_vector(counters, bits=5):
+    vector = CounterVector(len(counters), bits)
+    vector.counters = list(counters)
+    return vector
+
+
+class TestMerge:
+    def test_paper_fig6a_example(self):
+        # Accesses P+2, P+1, P+4: bit vector offsets {1, 2, 4}, trigger 2.
+        bit_vector = (1 << 1) | (1 << 2) | (1 << 4)
+        anchored = rotate_left(bit_vector, 2, 8)
+        # Anchored (1,0,1,0,0,0,0,1): bits 0, 2 and 7.
+        assert anchored == (1 << 0) | (1 << 2) | (1 << 7)
+        vector = make_vector([3, 0, 3, 0, 3, 0, 0, 0])
+        vector.merge(anchored)
+        assert vector.counters == [4, 0, 4, 0, 3, 0, 0, 1]
+
+    def test_time_counter_is_element_zero(self):
+        vector = CounterVector(8, 5)
+        vector.merge(0b1)
+        vector.merge(0b101)
+        assert vector.time_counter == 2
+
+    def test_merge_increments_only_set_bits(self):
+        vector = CounterVector(4, 5)
+        vector.merge(0b1011)
+        assert vector.counters == [1, 1, 0, 1]
+
+    def test_counters_saturate_at_max(self):
+        vector = CounterVector(2, 2)  # max 3
+        for _ in range(10):
+            vector.merge(0b10)  # never sets the time counter
+        assert vector.counters[1] == 3
+
+    def test_rejects_zero_width_counters(self):
+        with pytest.raises(ValueError):
+            CounterVector(4, 0)
+
+
+class TestHalving:
+    def test_halves_when_time_counter_saturates(self):
+        vector = CounterVector(4, 3)  # max 7
+        for _ in range(6):
+            vector.merge(0b0011)
+        assert vector.time_counter == 6
+        vector.merge(0b0011)  # time counter reaches 7 -> halve
+        assert vector.time_counter == 3
+        assert vector.counters == [3, 3, 0, 0]
+
+    def test_halving_approximately_preserves_frequencies(self):
+        # The Section IV-B footnote: ratios survive halving (modulo
+        # integer truncation), so AFE needs no retraining.
+        vector = CounterVector(4, 5)
+        for i in range(31):
+            bits = 0b0011 if i % 2 == 0 else 0b0001
+            vector.merge(bits)
+        freq_before = vector.counters[1] / vector.time_counter
+        vector.merge(0b0001)  # triggers halving at max 31
+        freq_after = vector.counters[1] / vector.time_counter
+        assert abs(freq_before - freq_after) < 0.1
+
+    def test_small_counters_drop_to_zero_on_halving(self):
+        vector = CounterVector(4, 2)  # max 3
+        vector.counters = [2, 0, 0, 1]
+        vector.merge(0b0001)  # time 2->3 == max -> halve
+        assert vector.counters == [1, 0, 0, 0]
+
+
+class TestDerived:
+    def test_frequencies_divide_by_time_counter(self):
+        vector = make_vector([4, 2, 0, 1])
+        assert vector.frequencies() == [1.0, 0.5, 0.0, 0.25]
+
+    def test_frequencies_of_empty_vector_are_zero(self):
+        vector = CounterVector(4, 5)
+        assert vector.frequencies() == [0.0] * 4
+
+    def test_ratios_divide_by_non_trigger_sum(self):
+        vector = make_vector([4, 2, 0, 1])
+        ratios = vector.ratios()
+        assert ratios[1] == 2 / 3
+        assert ratios[3] == 1 / 3
+
+    def test_ratios_of_empty_vector_are_zero(self):
+        vector = CounterVector(4, 5)
+        assert vector.ratios() == [0.0] * 4
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=2,
+                max_size=20), st.integers(min_value=2, max_value=8))
+def test_merge_never_exceeds_max(bit_patterns, bits):
+    length = 8
+    vector = CounterVector(length, bits)
+    for bits_value in bit_patterns:
+        vector.merge(bits_value | 1)  # bit 0 always set (trigger)
+    assert all(0 <= c <= vector.max_value for c in vector.counters)
+
+
+@given(st.integers(min_value=1, max_value=255))
+def test_time_counter_monotone_until_halving(anchored):
+    vector = CounterVector(8, 5)
+    previous = 0
+    for _ in range(40):
+        before = vector.time_counter
+        vector.merge(anchored | 1)
+        after = vector.time_counter
+        if before < vector.max_value:
+            assert after >= before - vector.max_value // 2
+        previous = after
+    assert previous > 0

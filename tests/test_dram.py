@@ -1,0 +1,91 @@
+"""DRAM channel model: latency, queueing, demand priority, multi-channel."""
+
+from repro.sim.dram import Dram
+from repro.sim.params import DramParams
+
+
+def make_dram(mt=3200, channels=1, latency=200):
+    return Dram(DramParams(mt_per_sec=mt, channels=channels,
+                           base_latency_cycles=latency))
+
+
+class TestServiceRate:
+    def test_3200_mt_is_10_cycles_per_line(self):
+        assert abs(make_dram(3200).service_cycles - 10.0) < 1e-9
+
+    def test_800_mt_is_40_cycles_per_line(self):
+        assert abs(make_dram(800).service_cycles - 40.0) < 1e-9
+
+    def test_idle_request_latency(self):
+        dram = make_dram()
+        completion = dram.request(0, 100.0)
+        assert completion == 100.0 + 10.0 + 200.0
+
+
+class TestQueueing:
+    def test_back_to_back_demands_serialise(self):
+        dram = make_dram()
+        first = dram.request(0, 0.0)
+        second = dram.request(1, 0.0)
+        assert second == first + dram.service_cycles
+
+    def test_prefetch_queues_behind_everything(self):
+        dram = make_dram()
+        dram.request(0, 0.0, is_prefetch=True)
+        dram.request(1, 0.0, is_prefetch=True)
+        third = dram.request(2, 0.0, is_prefetch=True)
+        assert third == 3 * dram.service_cycles + dram.latency
+
+    def test_demand_jumps_prefetch_queue(self):
+        dram = make_dram()
+        for i in range(10):
+            dram.request(i, 0.0, is_prefetch=True)
+        demand = dram.request(99, 0.0)
+        # The demand waits at most one in-flight transfer, not ten.
+        assert demand <= 2 * dram.service_cycles + dram.latency
+
+    def test_demands_consume_bandwidth_seen_by_prefetches(self):
+        dram = make_dram()
+        dram.request(0, 0.0)
+        prefetch = dram.request(1, 0.0, is_prefetch=True)
+        assert prefetch > dram.service_cycles + dram.latency
+
+
+class TestChannels:
+    def test_interleaving_by_line(self):
+        dram = make_dram(channels=2)
+        even = dram.request(0, 0.0)
+        odd = dram.request(1, 0.0)
+        # Different channels: no serialisation.
+        assert even == odd
+
+    def test_same_channel_serialises(self):
+        dram = make_dram(channels=2)
+        first = dram.request(0, 0.0)
+        second = dram.request(2, 0.0)
+        assert second == first + dram.service_cycles
+
+
+class TestStatsAndHints:
+    def test_request_counters(self):
+        dram = make_dram()
+        dram.request(0, 0.0)
+        dram.request(1, 0.0, is_prefetch=True)
+        assert dram.stats.demand_requests == 1
+        assert dram.stats.prefetch_requests == 1
+        assert dram.stats.total_requests == 2
+        dram.stats.reset()
+        assert dram.stats.total_requests == 0
+
+    def test_utilization_hint_rises_with_backlog(self):
+        dram = make_dram()
+        assert dram.utilization_hint(1.0) == 0.0
+        for i in range(20):
+            dram.request(i, 1.0, is_prefetch=True)
+        assert dram.utilization_hint(1.0) == 1.0
+
+    def test_backlog(self):
+        dram = make_dram()
+        assert dram.backlog(0, 0.0) == 0.0
+        dram.request(0, 0.0)
+        assert dram.backlog(0, 0.0) == dram.service_cycles

@@ -1,0 +1,28 @@
+"""Every example script must at least import cleanly (mains are guarded)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path.name} must define main()"
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "mcf_backward_scan", "graph_analytics",
+            "custom_prefetcher", "storage_performance_frontier",
+            "multicore_mixes", "headroom_analysis", "prefetcher_zoo"} <= names

@@ -1,0 +1,121 @@
+"""Extraction schemes (Section IV-B) against the paper's worked examples.
+
+All three examples in the paper use the counter vector (4, 2, 0, 1) and a
+single threshold of 1 (ANE) or 1/4 (ARE/AFE), and all three produce the
+prefetch pattern (0, L1, 0, L1).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.prefetchers.base import FillLevel
+from repro.prefetchers.pmp import (
+    CounterVector,
+    extract_afe,
+    extract_ane,
+    extract_are,
+)
+
+
+def make_vector(counters, bits=5):
+    vector = CounterVector(len(counters), bits)
+    vector.counters = list(counters)
+    return vector
+
+
+PAPER_VECTOR = [4, 2, 0, 1]
+
+
+class TestPaperExamples:
+    def test_ane_paper_example(self):
+        pattern = extract_ane(make_vector(PAPER_VECTOR), t_l1d=1, t_l2c=1)
+        assert pattern == {1: FillLevel.L1D, 3: FillLevel.L1D}
+
+    def test_are_paper_example(self):
+        # Ratios (excluding trigger): (2/3, 0, 1/3); threshold 1/4.
+        pattern = extract_are(make_vector(PAPER_VECTOR), t_l1d=0.25, t_l2c=0.25)
+        assert pattern == {1: FillLevel.L1D, 3: FillLevel.L1D}
+
+    def test_afe_paper_example(self):
+        # Frequencies: (2/4, 0, 1/4); threshold 1/4.
+        pattern = extract_afe(make_vector(PAPER_VECTOR), t_l1d=0.25, t_l2c=0.25)
+        assert pattern == {1: FillLevel.L1D, 3: FillLevel.L1D}
+
+
+class TestTriggerExclusion:
+    """The trigger offset (element 0) is never prefetched."""
+
+    def test_afe_skips_index_zero(self):
+        pattern = extract_afe(make_vector([10, 10]), t_l1d=0.5, t_l2c=0.1)
+        assert 0 not in pattern
+
+    def test_ane_skips_index_zero(self):
+        pattern = extract_ane(make_vector([31, 31]), t_l1d=1, t_l2c=1)
+        assert 0 not in pattern
+
+    def test_are_skips_index_zero(self):
+        pattern = extract_are(make_vector([31, 31]), t_l1d=0.1, t_l2c=0.1)
+        assert 0 not in pattern
+
+
+class TestLevelAssignment:
+    def test_afe_two_level_thresholds(self):
+        # Defaults: >= 50% -> L1D, >= 15% -> L2C (Table II).
+        vector = make_vector([20, 12, 4, 1])
+        pattern = extract_afe(vector, t_l1d=0.5, t_l2c=0.15)
+        assert pattern == {1: FillLevel.L1D, 2: FillLevel.L2C}
+
+    def test_ane_two_level_thresholds(self):
+        vector = make_vector([20, 18, 7, 2])
+        pattern = extract_ane(vector, t_l1d=16, t_l2c=5)
+        assert pattern == {1: FillLevel.L1D, 2: FillLevel.L2C}
+
+    def test_empty_vector_extracts_nothing(self):
+        vector = CounterVector(8, 5)
+        assert extract_afe(vector, 0.5, 0.15) == {}
+        assert extract_are(vector, 0.5, 0.15) == {}
+
+
+class TestSchemeContrasts:
+    def test_are_depth_limit_on_streams(self):
+        """Section V-E2: a stream (uniform counters) starves ARE.
+
+        64 equal counters give each a ratio of 1/63 < 15%, so ARE
+        extracts nothing, while AFE sees frequency 100% everywhere.
+        """
+        stream = make_vector([8] * 64)
+        assert extract_are(stream, t_l1d=0.5, t_l2c=0.15) == {}
+        afe = extract_afe(stream, t_l1d=0.5, t_l2c=0.15)
+        assert len(afe) == 63
+        assert all(level == FillLevel.L1D for level in afe.values())
+
+    def test_ane_cold_start(self):
+        """Section IV-B: ANE cannot prefetch an offset seen < T times."""
+        young = make_vector([2, 2, 0, 0])
+        assert extract_ane(young, t_l1d=16, t_l2c=5) == {}
+        # AFE sees 100% frequency immediately.
+        afe = extract_afe(young, t_l1d=0.5, t_l2c=0.15)
+        assert afe == {1: FillLevel.L1D}
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=2, max_size=64))
+def test_afe_levels_ordered_by_frequency(counters):
+    vector = make_vector([max(counters[0], 1)] + counters[1:])
+    pattern = extract_afe(vector, t_l1d=0.5, t_l2c=0.15)
+    time = vector.time_counter
+    for index, level in pattern.items():
+        frequency = vector.counters[index] / time
+        if level == FillLevel.L1D:
+            assert frequency >= 0.5
+        else:
+            assert 0.15 <= frequency < 0.5
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=2, max_size=64),
+       st.floats(min_value=0.05, max_value=0.45),
+       st.floats(min_value=0.5, max_value=1.0))
+def test_afe_monotone_in_threshold(counters, low, high):
+    """Raising thresholds never adds prefetch targets."""
+    vector = make_vector([max(counters[0], 1)] + counters[1:])
+    loose = extract_afe(vector, t_l1d=low, t_l2c=low)
+    strict = extract_afe(vector, t_l1d=high, t_l2c=high)
+    assert set(strict) <= set(loose)

@@ -1,0 +1,199 @@
+"""Cache hierarchy: demand path, deferred fills, inclusion, prefetch path."""
+
+from repro.prefetchers.base import (
+    FillLevel,
+    NoPrefetcher,
+    Prefetcher,
+    PrefetchRequest,
+)
+from repro.sim.hierarchy import Hierarchy
+from repro.sim.params import SystemConfig
+
+
+def build(prefetcher=None, config=None):
+    return Hierarchy.build(config or SystemConfig.default(),
+                           prefetcher or NoPrefetcher())
+
+
+ADDR = 0x4000_0000
+
+
+class TestDemandPath:
+    def test_cold_miss_costs_full_path(self):
+        h = build()
+        config = h.config
+        latency, hit = h.demand_access(ADDR, 0.0)
+        floor = (config.l1d.hit_latency + config.l2c.hit_latency +
+                 config.llc.hit_latency + h.dram.latency)
+        assert not hit
+        assert latency >= floor
+
+    def test_line_not_resident_until_fill_completes(self):
+        h = build()
+        latency, _ = h.demand_access(ADDR, 0.0)
+        assert not h.l1d.contains(ADDR >> 6)
+        h._sync(latency + 1)
+        assert h.l1d.contains(ADDR >> 6)
+
+    def test_hit_after_fill(self):
+        h = build()
+        latency, _ = h.demand_access(ADDR, 0.0)
+        second, hit = h.demand_access(ADDR, latency + 10)
+        assert hit
+        assert second == h.config.l1d.hit_latency
+
+    def test_early_reaccess_merges_with_inflight_miss(self):
+        h = build()
+        latency, _ = h.demand_access(ADDR, 0.0)
+        dram_before = h.dram.stats.demand_requests
+        merged, hit = h.demand_access(ADDR, 10.0)
+        assert not hit
+        assert h.dram.stats.demand_requests == dram_before  # no re-request
+        assert merged <= latency  # waits out the remainder only
+
+    def test_l2_hit_path(self):
+        h = build()
+        latency, _ = h.demand_access(ADDR, 0.0)
+        h._sync(latency + 1)
+        # Evict from L1 only (fill conflicting lines mapping to same L1 set).
+        line = ADDR >> 6
+        for i in range(1, h.l1d.ways + 1):
+            h.l1d.fill_now(line + i * h.l1d.num_sets, latency + 1)
+        assert not h.l1d.contains(line)
+        l2_latency, hit = h.demand_access(ADDR, latency + 10)
+        assert not hit
+        assert l2_latency <= (h.config.l1d.hit_latency +
+                              h.config.l2c.hit_latency)
+
+
+class TestInclusion:
+    def test_llc_eviction_back_invalidates(self):
+        h = build()
+        llc_lines = h.llc.num_sets * h.llc.ways
+        latency, _ = h.demand_access(ADDR, 0.0)
+        h._sync(latency + 1)
+        line = ADDR >> 6
+        assert h.l1d.contains(line)
+        # Stream enough conflicting lines through the LLC set to evict it.
+        cycle = latency + 10
+        for i in range(1, h.llc.ways + 2):
+            victim_addr = ADDR + i * h.llc.num_sets * 64
+            lat, _ = h.demand_access(victim_addr, cycle)
+            cycle += lat + 1
+            h._sync(cycle)
+        assert not h.llc.contains(line)
+        assert not h.l1d.contains(line)  # inclusion enforced
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_requested_level(self):
+        h = build()
+        ok = h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L2C), 0.0)
+        assert ok
+        h._sync(1e9)
+        assert h.l2c.contains(ADDR >> 6)
+        assert h.llc.contains(ADDR >> 6)  # inclusive
+        assert not h.l1d.contains(ADDR >> 6)
+
+    def test_l1_prefetch_fills_all_levels(self):
+        h = build()
+        h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L1D), 0.0)
+        h._sync(1e9)
+        assert h.l1d.contains(ADDR >> 6)
+        assert h.l2c.contains(ADDR >> 6)
+        assert h.llc.contains(ADDR >> 6)
+
+    def test_duplicate_prefetch_rejected(self):
+        h = build()
+        assert h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L1D), 0.0)
+        assert not h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L1D), 1.0)
+        assert h.drop_reasons["resident"] == 1
+
+    def test_prefetch_of_resident_line_rejected(self):
+        h = build()
+        latency, _ = h.demand_access(ADDR, 0.0)
+        h._sync(latency + 1)
+        assert not h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L1D),
+                                    latency + 2)
+
+    def test_pq_full_rejects(self):
+        h = build()
+        accepted = 0
+        for i in range(h.config.l1d.pq_entries + 4):
+            if h.issue_prefetch(PrefetchRequest(ADDR + i * 64, FillLevel.L1D), 0.0):
+                accepted += 1
+        assert accepted == h.config.l1d.pq_entries
+        assert h.drop_reasons["pq_full"] > 0
+
+    def test_llc_resident_promotion_costs_no_dram(self):
+        h = build()
+        latency, _ = h.demand_access(ADDR, 0.0)
+        h._sync(latency + 1)
+        # Push the line out of L1 and L2 but keep it in the LLC.
+        h.l1d.invalidate(ADDR >> 6)
+        h.l2c.invalidate(ADDR >> 6)
+        dram_before = h.dram.stats.total_requests
+        assert h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L1D),
+                                latency + 10)
+        assert h.dram.stats.total_requests == dram_before
+
+    def test_late_prefetch_merge_counts_useful(self):
+        h = build()
+        h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L1D), 0.0)
+        latency, hit = h.demand_access(ADDR, 5.0)  # before the fill lands
+        assert not hit
+        assert h.l1d.stats.useful_prefetches == 1
+        assert h.l1d.stats.late_prefetch_hits == 1
+        # The landed fill must not be double counted at flush.
+        h.flush_accounting()
+        assert h.l1d.stats.useful_prefetches == 1
+
+
+class TestFeedback:
+    def test_prefetcher_hears_useful_and_useless(self):
+        events = []
+
+        class Spy(Prefetcher):
+            def on_prefetch_useful(self, address, level):
+                events.append(("useful", level))
+
+            def on_prefetch_useless(self, address, level):
+                events.append(("useless", level))
+
+        h = build(Spy())
+        h.issue_prefetch(PrefetchRequest(ADDR, FillLevel.L1D), 0.0)
+        h._sync(1e6)
+        h.demand_access(ADDR, 1e6 + 1)
+        assert ("useful", FillLevel.L1D) in events
+
+    def test_l1_eviction_notifies_prefetcher(self):
+        evicted = []
+
+        class Spy(Prefetcher):
+            def on_evict(self, line_address):
+                evicted.append(line_address)
+
+        h = build(Spy())
+        cycle = 0.0
+        for i in range(h.l1d.ways + 2):
+            addr = ADDR + i * h.l1d.num_sets * 64
+            latency, _ = h.demand_access(addr, cycle)
+            cycle += latency + 1
+            h._sync(cycle)
+        assert evicted
+
+
+class TestViewAndLifecycle:
+    def test_prefetch_headroom_respects_both_limits(self):
+        h = build()
+        h.set_view_cycle(0.0)
+        assert h.prefetch_headroom(FillLevel.L1D) == min(
+            h.config.l1d.pq_entries, h.config.l1d.mshr_entries - 1)
+
+    def test_reset_stats_clears_counters(self):
+        h = build()
+        h.demand_access(ADDR, 0.0)
+        h.reset_stats()
+        assert h.l1d.stats.demand_accesses == 0
+        assert h.dram.stats.total_requests == 0
+        assert sum(h.issued_prefetches.values()) == 0

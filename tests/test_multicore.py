@@ -1,0 +1,60 @@
+"""Multi-core simulation: shared LLC, DRAM contention, speedup metric."""
+
+import numpy as np
+
+from repro.memtrace import synthetic as syn
+from repro.memtrace.trace import Trace
+from repro.prefetchers import PMP, NoPrefetcher
+from repro.sim.multicore import multicore_speedup, simulate_multicore
+from repro.sim.params import SystemConfig
+
+
+def stream_trace(seed, n=2500, segment=0):
+    trace = Trace(f"s{seed}")
+    trace.extend(syn.stream(np.random.default_rng(seed), n, segment=segment))
+    return trace
+
+
+class TestSimulateMulticore:
+    def test_one_result_per_core(self):
+        traces = [stream_trace(i, segment=i) for i in range(4)]
+        results = simulate_multicore(traces)
+        assert len(results) == 4
+        assert all(r.instructions > 0 for r in results)
+
+    def test_trace_order_preserved(self):
+        traces = [stream_trace(i, segment=i) for i in range(3)]
+        results = simulate_multicore(traces)
+        assert [r.trace_name for r in results] == [t.name for t in traces]
+
+    def test_deterministic(self):
+        traces = [stream_trace(i, segment=i) for i in range(2)]
+        a = simulate_multicore(traces, PMP)
+        b = simulate_multicore(traces, PMP)
+        assert [r.ipc for r in a] == [r.ipc for r in b]
+
+    def test_sharing_slows_cores_down(self):
+        """Four cores on shared LLC/DRAM run slower than one alone."""
+        from repro.sim.engine import simulate
+        trace = stream_trace(0)
+        solo = simulate(trace, config=SystemConfig.default().for_multicore(4))
+        shared = simulate_multicore([trace] * 4,
+                                    config=SystemConfig.default().for_multicore(4))
+        assert all(r.ipc <= solo.ipc * 1.01 for r in shared)
+
+    def test_two_channels_for_multicore(self):
+        config = SystemConfig.default().for_multicore(4)
+        assert config.dram.channels == 2
+
+
+class TestSpeedup:
+    def test_prefetching_speedup_positive_on_streams(self):
+        traces = [stream_trace(i, segment=i) for i in range(4)]
+        results = simulate_multicore(traces, PMP)
+        baselines = simulate_multicore(traces, NoPrefetcher)
+        assert multicore_speedup(results, baselines) > 1.0
+
+    def test_identity_speedup(self):
+        traces = [stream_trace(0)]
+        results = simulate_multicore(traces, NoPrefetcher)
+        assert multicore_speedup(results, results) == 1.0

@@ -1,0 +1,198 @@
+"""PMP end-to-end behaviour: training, prediction, PB issue, variants."""
+
+import pytest
+
+from repro.prefetchers.base import FillLevel, NullSystemView
+from repro.prefetchers.pmp import (
+    PMP,
+    PMPConfig,
+    PrefetchBuffer,
+    make_pmp,
+    make_pmp_limit,
+)
+
+REGION = 0x2000_0000
+VIEW = NullSystemView()
+
+
+def line_addr(region, offset):
+    return region + offset * 64
+
+
+def teach(pmp, pc, trigger, deltas, regions):
+    """Run `regions` generations of the anchored pattern through PMP."""
+    for i in range(regions):
+        region = REGION + i * 4096
+        pmp.on_access(pc, line_addr(region, trigger), 0.0, False, VIEW)
+        for delta in deltas:
+            offset = (trigger + delta) % 64
+            pmp.on_access(pc, line_addr(region, offset), 0.0, False, VIEW)
+        pmp.on_evict(line_addr(region, trigger))
+
+
+class TestTrainingAndPrediction:
+    def test_learns_anchored_pattern_and_prefetches_new_region(self):
+        pmp = PMP()
+        teach(pmp, pc=0x400, trigger=3, deltas=(1, 2, 4), regions=12)
+        fresh = REGION + 1000 * 4096
+        requests = pmp.on_access(0x400, line_addr(fresh, 3), 0.0, False, VIEW)
+        targets = {r.address for r in requests}
+        assert line_addr(fresh, 4) in targets
+        assert line_addr(fresh, 5) in targets
+        assert line_addr(fresh, 7) in targets
+
+    def test_trigger_line_itself_never_prefetched(self):
+        pmp = PMP()
+        teach(pmp, pc=0x400, trigger=3, deltas=(1,), regions=12)
+        fresh = REGION + 1000 * 4096
+        requests = pmp.on_access(0x400, line_addr(fresh, 3), 0.0, False, VIEW)
+        assert line_addr(fresh, 3) not in {r.address for r in requests}
+
+    def test_pattern_shared_across_trigger_regions(self):
+        """Trigger-offset indexing shares patterns between memory regions —
+        the compulsory-miss reduction the paper credits (Section V-C)."""
+        pmp = PMP()
+        teach(pmp, pc=0x400, trigger=8, deltas=(1, 2), regions=12)
+        far_region = REGION + 77_000 * 4096
+        requests = pmp.on_access(0x400, line_addr(far_region, 8), 0.0, False, VIEW)
+        assert requests  # never saw this region, still predicts
+
+    def test_wraparound_targets_stay_in_region(self):
+        pmp = PMP()
+        teach(pmp, pc=0x400, trigger=63, deltas=(1, 2), regions=12)
+        fresh = REGION + 2000 * 4096
+        requests = pmp.on_access(0x400, line_addr(fresh, 63), 0.0, False, VIEW)
+        for request in requests:
+            assert (request.address & ~0xFFF) == fresh
+
+    def test_high_frequency_targets_go_to_l1d(self):
+        # Deltas 2 and 3 share coarse PPT index 1 (monitoring range 2), so
+        # both tables can agree on L1D.  Delta 1 would share coarse index 0
+        # with the trigger, which is never extracted — the same reason the
+        # paper's Fig 6 final pattern has no L1D at anchored index 1.
+        pmp = PMP()
+        teach(pmp, pc=0x400, trigger=0, deltas=(2, 3), regions=20)
+        fresh = REGION + 3000 * 4096
+        requests = pmp.on_access(0x400, line_addr(fresh, 0), 0.0, False, VIEW)
+        by_offset = {(r.address >> 6) & 0x3F: r.level for r in requests}
+        assert by_offset[2] == FillLevel.L1D
+        assert by_offset[3] == FillLevel.L1D
+
+    def test_no_prediction_from_cold_tables(self):
+        pmp = PMP()
+        requests = pmp.on_access(0x400, line_addr(REGION, 5), 0.0, False, VIEW)
+        assert requests == []
+
+
+class TestPrefetchBufferDiscipline:
+    def test_pb_limits_issue_to_headroom(self):
+        class TightView:
+            def free_pq_entries(self, level):
+                return 2
+
+            def prefetch_headroom(self, level):
+                return 2
+
+            def dram_utilization(self):
+                return 0.0
+
+        pmp = PMP()
+        teach(pmp, pc=0x400, trigger=0, deltas=tuple(range(1, 20)), regions=16)
+        fresh = REGION + 4000 * 4096
+        requests = pmp.on_access(0x400, line_addr(fresh, 0), 0.0, False,
+                                 TightView())
+        # At most 2 per level can issue in one shot.
+        assert len(requests) <= 6
+        # A later access to the same region continues the issue.
+        more = pmp.on_access(0x400, line_addr(fresh, 1), 0.0, False, TightView())
+        assert more
+
+    def test_pb_lru_eviction(self):
+        pb = PrefetchBuffer(entries=2)
+        pb.insert(1, [(100, FillLevel.L1D)])
+        pb.insert(2, [(200, FillLevel.L1D)])
+        pb.insert(3, [(300, FillLevel.L1D)])
+        assert pb.pending(1) is None
+        assert pb.pending(3) is not None
+
+    def test_pb_consume_removes_entry_when_empty(self):
+        pb = PrefetchBuffer(entries=4)
+        pb.insert(1, [(100, FillLevel.L1D), (200, FillLevel.L2C)])
+        pb.consume(1, 2)
+        assert pb.pending(1) is None
+        assert len(pb) == 0
+
+    def test_pb_reinsert_replaces(self):
+        pb = PrefetchBuffer(entries=4)
+        pb.insert(1, [(100, FillLevel.L1D)])
+        pb.insert(1, [(200, FillLevel.L2C)])
+        assert pb.pending(1) == [(200, FillLevel.L2C)]
+
+
+class TestVariants:
+    def test_pmp_limit_caps_low_level_degree(self):
+        pmp = make_pmp_limit(1)
+        teach(pmp, pc=0x400, trigger=0, deltas=tuple(range(1, 30)), regions=4)
+        fresh = REGION + 5000 * 4096
+        requests = pmp.on_access(0x400, line_addr(fresh, 0), 0.0, False, VIEW)
+        low = [r for r in requests if r.level != FillLevel.L1D]
+        assert len(low) <= 1
+
+    def test_all_structures_construct_and_predict(self):
+        for structure in ("dual", "opt", "ppt", "combined"):
+            pmp = PMP(PMPConfig(structure=structure))
+            teach(pmp, pc=0x400, trigger=2, deltas=(1, 3), regions=12)
+            fresh = REGION + 6000 * 4096
+            requests = pmp.on_access(0x400, line_addr(fresh, 2), 0.0, False, VIEW)
+            assert requests, structure
+
+    def test_unknown_extraction_rejected(self):
+        pmp = PMP(PMPConfig(extraction="nope"))
+        with pytest.raises(ValueError):
+            # The first trigger access already consults the scheme.
+            pmp.on_access(0x400, line_addr(REGION, 2), 0.0, False, VIEW)
+
+    def test_make_pmp_overrides(self):
+        pmp = make_pmp(extraction="ane", monitoring_range=4)
+        assert pmp.config.extraction == "ane"
+        assert pmp.config.monitoring_range == 4
+
+    def test_pattern_length_variants(self):
+        for region_bytes, length in ((4096, 64), (2048, 32), (1024, 16)):
+            config = PMPConfig(region_bytes=region_bytes)
+            assert config.pattern_length == length
+            assert len(PMP(config).opt[0]) == length
+
+    def test_ppt_coarse_length(self):
+        config = PMPConfig(monitoring_range=2)
+        assert config.ppt_pattern_length == 32
+        pmp = PMP(config)
+        assert len(pmp.ppt[0]) == 32
+
+    def test_single_ppt_uses_full_length(self):
+        pmp = PMP(PMPConfig(structure="ppt"))
+        assert len(pmp.ppt[0]) == 64
+
+    def test_narrow_trigger_offset_folds_rows(self):
+        pmp = PMP(PMPConfig(trigger_offset_bits=4))
+        assert len(pmp.opt) == 16
+        assert pmp._opt_index(5) == pmp._opt_index(21)
+
+
+class TestConfig:
+    def test_table_ii_defaults(self):
+        config = PMPConfig()
+        assert config.opt_counter_bits == 5
+        assert config.ppt_counter_bits == 5
+        assert config.pattern_length == 64
+        assert config.ppt_pattern_length == 32
+        assert config.region_bytes == 4096
+        assert config.monitoring_range == 2
+        assert config.t_l1d == 0.50
+        assert config.t_l2c == 0.15
+
+    def test_limited_returns_new_config(self):
+        config = PMPConfig()
+        limited = config.limited(1)
+        assert limited.low_level_degree == 1
+        assert config.low_level_degree is None

@@ -1,0 +1,98 @@
+"""Cross-module property tests: end-to-end invariants under random inputs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memtrace.access import MemoryAccess
+from repro.memtrace.trace import Trace
+from repro.prefetchers.base import FillLevel, NullSystemView, PrefetchRequest
+from repro.prefetchers.pmp import PMP, PMPConfig
+from repro.sim.engine import simulate
+from repro.sim.hierarchy import Hierarchy
+from repro.sim.params import SystemConfig
+
+ADDRESSES = st.integers(min_value=0, max_value=(1 << 30) - 1).map(lambda v: v << 6)
+PCS = st.integers(min_value=0x400000, max_value=0x500000).map(lambda v: v & ~3)
+
+
+@st.composite
+def random_traces(draw, max_len=300):
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    accesses = []
+    for _ in range(length):
+        accesses.append(MemoryAccess(
+            pc=draw(PCS), address=draw(ADDRESSES),
+            is_write=draw(st.booleans()),
+            gap=draw(st.integers(min_value=0, max_value=60))))
+    trace = Trace("prop")
+    trace.extend(accesses)
+    return trace
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_traces())
+def test_simulation_never_crashes_and_metrics_sane(trace):
+    """PMP on arbitrary access streams: no crashes, sane counters."""
+    result = simulate(trace, PMP(), warmup_fraction=0.0)
+    assert result.instructions == trace.instruction_count
+    assert 0 < result.ipc <= 4.0
+    l1 = result.levels["l1d"]
+    assert l1.demand_accesses == len(trace)
+    assert l1.demand_hits + l1.demand_misses == l1.demand_accesses
+    # Accounting identity: every prefetch fill resolves to useful/useless.
+    for level in result.levels.values():
+        assert level.useful_prefetches + level.useless_prefetches >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_traces(max_len=200))
+def test_prefetcher_never_prefetches_trigger_region_line_zero_wrap(trace):
+    """PMP requests stay cacheline-aligned and inside 4KB regions."""
+    pmp = PMP()
+    view = NullSystemView()
+    for access in trace.accesses:
+        for request in pmp.on_access(access.pc, access.address, 0.0, False, view):
+            assert request.address % 64 == 0
+            assert request.level in (FillLevel.L1D, FillLevel.L2C, FillLevel.LLC)
+            region = access.address & ~0xFFF
+            assert request.address & ~0xFFF == region
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(ADDRESSES, min_size=1, max_size=150),
+       st.lists(st.sampled_from(list(FillLevel)), min_size=1, max_size=8))
+def test_inclusive_hierarchy_invariant(addresses, levels):
+    """After any demand/prefetch interleaving, L1/L2 contents are in the LLC."""
+    h = Hierarchy.build(SystemConfig.default(), PMP())
+    cycle = 0.0
+    for i, address in enumerate(addresses):
+        latency, _ = h.demand_access(address, cycle)
+        cycle += max(1.0, latency / 4)
+        level = levels[i % len(levels)]
+        h.issue_prefetch(PrefetchRequest(address=address + 64, level=level),
+                         cycle)
+    h._sync(cycle + 1e6)
+    for cache in (h.l1d, h.l2c):
+        for cache_set in cache._sets:
+            for line in cache_set:
+                assert h.llc.contains(line), \
+                    "inclusion violated: private line missing from LLC"
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_traces(max_len=150),
+       st.sampled_from(["afe", "ane", "are"]),
+       st.sampled_from(["dual", "opt", "ppt", "combined"]))
+def test_all_pmp_variants_run(trace, extraction, structure):
+    config = PMPConfig(extraction=extraction, structure=structure)
+    result = simulate(trace, PMP(config), warmup_fraction=0.0)
+    assert result.cycles > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_traces(max_len=200))
+def test_warmup_monotone(trace):
+    """More warmup never increases measured accesses."""
+    fractions = [0.0, 0.3, 0.6]
+    counts = [simulate(trace, warmup_fraction=f).levels["l1d"].demand_accesses
+              for f in fractions]
+    assert counts[0] >= counts[1] >= counts[2]

@@ -1,0 +1,85 @@
+"""Derived metrics: NIPC, coverage, accuracy, NMT, geomean."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import LevelStats, SimResult, geomean
+
+
+def make_result(ipc_cycles=1000.0, instructions=2000, l1_misses=100,
+                dram_demand=100, dram_prefetch=0, useful=0, useless=0):
+    return SimResult(
+        trace_name="t", prefetcher_name="p",
+        instructions=instructions, cycles=ipc_cycles,
+        levels={"l1d": LevelStats(demand_accesses=500, demand_hits=400,
+                                  demand_misses=l1_misses,
+                                  useful_prefetches=useful,
+                                  useless_prefetches=useless),
+                "l2c": LevelStats(), "llc": LevelStats()},
+        dram_demand_requests=dram_demand,
+        dram_prefetch_requests=dram_prefetch)
+
+
+class TestSimResult:
+    def test_ipc(self):
+        assert make_result(1000.0, 2000).ipc == 2.0
+
+    def test_nipc(self):
+        fast = make_result(500.0)
+        slow = make_result(1000.0)
+        assert fast.nipc(slow) == 2.0
+
+    def test_nmt_counts_prefetch_traffic(self):
+        base = make_result(dram_demand=100)
+        noisy = make_result(dram_demand=100, dram_prefetch=100)
+        assert noisy.nmt(base) == 2.0
+
+    def test_coverage(self):
+        base = make_result(l1_misses=100)
+        covered = make_result(l1_misses=40)
+        assert covered.coverage(base, "l1d") == 0.6
+
+    def test_negative_coverage_when_pollution_adds_misses(self):
+        base = make_result(l1_misses=100)
+        polluted = make_result(l1_misses=120)
+        assert polluted.coverage(base, "l1d") == -0.2
+
+    def test_coverage_zero_baseline(self):
+        base = make_result(l1_misses=0)
+        assert make_result().coverage(base, "l1d") == 0.0
+
+    def test_accuracy(self):
+        result = make_result(useful=30, useless=10)
+        assert result.accuracy("l1d") == 0.75
+
+    def test_accuracy_empty(self):
+        assert make_result().accuracy("l1d") == 0.0
+
+    def test_zero_cycle_guards(self):
+        empty = SimResult("t", "p", 0, 0.0)
+        assert empty.ipc == 0.0
+        assert make_result().nipc(empty) == 0.0
+        assert make_result().nmt(SimResult("t", "p", 1, 1.0)) == 0.0
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert abs(geomean([2.0, 8.0]) - 4.0) < 1e-9
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_nonpositive_collapses(self):
+        assert geomean([1.0, 0.0]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=10),
+           st.floats(min_value=0.5, max_value=2.0))
+    def test_scale_equivariance(self, values, scale):
+        scaled = geomean([v * scale for v in values])
+        assert abs(scaled - geomean(values) * scale) < 1e-6 * max(1.0, scaled)

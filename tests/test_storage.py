@@ -1,0 +1,111 @@
+"""Storage accounting against Tables III, V and IX."""
+
+from repro.prefetchers.pmp import PMPConfig
+from repro.storage import (
+    CACTI_PAPER_RESULTS,
+    bingo_budget,
+    dspatch_budget,
+    pmp_budget,
+    pythia_budget,
+    spp_ppf_budget,
+    table_v,
+)
+
+
+class TestTableIII:
+    """PMP's default budget must match Table III bit-for-bit."""
+
+    def test_structure_bytes(self):
+        budget = pmp_budget()
+        by_name = {s.name: s for s in budget.structures}
+        assert by_name["Filter Table"].total_bytes == 376
+        assert by_name["Accumulation Table"].total_bytes == 456
+        assert by_name["Offset Pattern Table"].total_bytes == 2560
+        assert by_name["PC Pattern Table"].total_bytes == 640
+        assert by_name["Prefetch Buffer"].total_bytes == 332
+
+    def test_total_is_4_3_kb(self):
+        budget = pmp_budget()
+        assert budget.total_bytes == 4364
+        assert abs(budget.total_kib - 4.26) < 0.05
+
+    def test_field_widths(self):
+        budget = pmp_budget()
+        by_name = {s.name: s for s in budget.structures}
+        assert by_name["Filter Table"].bits_per_entry == 47    # 33+5+6+3
+        assert by_name["Accumulation Table"].bits_per_entry == 114
+        assert by_name["Offset Pattern Table"].bits_per_entry == 320
+        assert by_name["PC Pattern Table"].bits_per_entry == 160
+        assert by_name["Prefetch Buffer"].bits_per_entry == 166  # 36+126+4
+
+
+class TestTableV:
+    def test_paper_totals(self):
+        budgets = table_v()
+        assert abs(budgets["dspatch"].total_kib - 3.6) < 0.1
+        assert abs(budgets["bingo"].total_kib - 127.8) < 0.1
+        assert abs(budgets["spp+ppf"].total_kib - 48.4) < 0.1
+        assert abs(budgets["pythia"].total_kib - 25.5) < 0.1
+        assert abs(budgets["pmp"].total_kib - 4.3) < 0.1
+
+    def test_pmp_vs_bingo_ratio(self):
+        """The 30x headline claim."""
+        budgets = table_v()
+        ratio = budgets["bingo"].total_bytes / budgets["pmp"].total_bytes
+        assert 28 <= ratio <= 32
+
+    def test_pmp_vs_pythia_ratio(self):
+        """The 6x headline claim."""
+        budgets = table_v()
+        ratio = budgets["pythia"].total_bytes / budgets["pmp"].total_bytes
+        assert 5 <= ratio <= 7
+
+    def test_non_enhanced_bingo_is_half(self):
+        assert bingo_budget(False).total_bits < bingo_budget(True).total_bits
+
+
+class TestKnobs:
+    def test_pattern_length_shrinks_budget(self):
+        """Table IX: shorter patterns cost less."""
+        kib = [pmp_budget(PMPConfig(region_bytes=rb)).total_kib
+               for rb in (4096, 2048, 1024)]
+        assert kib[0] > kib[1] > kib[2]
+
+    def test_trigger_offset_width_grows_opt(self):
+        """Table X: storage grows exponentially with offset width."""
+        narrow = pmp_budget(PMPConfig(trigger_offset_bits=6))
+        wide = pmp_budget(PMPConfig(trigger_offset_bits=12))
+        assert wide.total_bits > narrow.total_bits * 10
+
+    def test_counter_bits_scale_tables(self):
+        small = pmp_budget(PMPConfig(opt_counter_bits=2))
+        large = pmp_budget(PMPConfig(opt_counter_bits=8))
+        assert large.total_bits > small.total_bits
+
+    def test_monitoring_range_shrinks_ppt(self):
+        fine = pmp_budget(PMPConfig(monitoring_range=1))
+        coarse = pmp_budget(PMPConfig(monitoring_range=8))
+        assert coarse.total_bits < fine.total_bits
+
+    def test_combined_structure_is_much_bigger(self):
+        """Section V-E3: 2048 entries vs 96."""
+        dual = pmp_budget(PMPConfig(structure="dual"))
+        combined = pmp_budget(PMPConfig(structure="combined"))
+        assert combined.total_bits > dual.total_bits * 10
+
+
+class TestCactiConstants:
+    def test_paper_values_recorded(self):
+        assert CACTI_PAPER_RESULTS["pmp_dual_table_area_mm2"] == 0.0069
+        assert CACTI_PAPER_RESULTS["bingo_pattern_table_area_mm2"] == 1.0372
+        # The paper's 151x area claim.
+        ratio = (CACTI_PAPER_RESULTS["bingo_pattern_table_area_mm2"] /
+                 CACTI_PAPER_RESULTS["pmp_dual_table_area_mm2"])
+        assert 149 <= ratio <= 152
+
+
+def test_individual_budget_helpers():
+    for budget in (dspatch_budget(), bingo_budget(), spp_ppf_budget(),
+                   pythia_budget()):
+        assert budget.total_bits > 0
+        assert budget.structures

@@ -1,0 +1,44 @@
+"""TraceStore: disk caching of built suite traces."""
+
+from repro.memtrace.store import TraceStore
+from repro.memtrace.workloads import quick_suite
+
+
+class TestTraceStore:
+    def test_build_then_load(self, tmp_path):
+        store = TraceStore(tmp_path)
+        spec = quick_suite()[0]
+        first = store.get(spec, 500)
+        assert store.misses == 1 and store.hits == 0
+        second = store.get(spec, 500)
+        assert store.hits == 1
+        assert first.accesses == second.accesses
+
+    def test_distinct_lengths_cached_separately(self, tmp_path):
+        store = TraceStore(tmp_path)
+        spec = quick_suite()[0]
+        a = store.get(spec, 300)
+        b = store.get(spec, 600)
+        assert len(a) == 300 and len(b) == 600
+        assert store.misses == 2
+
+    def test_corrupt_entry_rebuilt(self, tmp_path):
+        store = TraceStore(tmp_path)
+        spec = quick_suite()[0]
+        store.get(spec, 300)
+        path = store._path_for(spec, 300)
+        path.write_bytes(b"garbage")
+        trace = store.get(spec, 300)
+        assert len(trace) == 300
+
+    def test_clear(self, tmp_path):
+        store = TraceStore(tmp_path)
+        for spec in quick_suite()[:3]:
+            store.get(spec, 200)
+        assert store.clear() == 3
+        assert list(tmp_path.glob("*.pmptrc")) == []
+
+    def test_build_all(self, tmp_path):
+        store = TraceStore(tmp_path)
+        traces = store.build_all(quick_suite()[:2], 250)
+        assert [len(t) for t in traces] == [250, 250]

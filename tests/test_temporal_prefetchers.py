@@ -1,0 +1,92 @@
+"""Matryoshka and Triage — the remaining §VI related-work designs."""
+
+import numpy as np
+import pytest
+
+from repro.prefetchers.base import NullSystemView
+from repro.prefetchers.matryoshka import Matryoshka
+from repro.prefetchers.triage import Triage
+
+VIEW = NullSystemView()
+PAGE = 0xC000_0000
+
+
+def feed(prefetcher, offsets, page=PAGE, hit=False):
+    requests = []
+    for offset in offsets:
+        requests = prefetcher.on_access(0x400, page + offset * 64, 0.0,
+                                        hit, VIEW)
+    return requests
+
+
+class TestMatryoshka:
+    def test_constant_stride_with_chaining(self):
+        m = Matryoshka(degree=3)
+        requests = feed(m, [0, 2, 4, 6, 8, 10, 12])
+        targets = {(r.address - PAGE) // 64 for r in requests}
+        assert {14, 16, 18} <= targets
+
+    def test_longest_nesting_disambiguates(self):
+        """Deltas 2,5,2,5...: length-1 histories are ambiguous-ish, the
+        length-2 nesting is exact."""
+        m = Matryoshka(degree=1, min_confidence=2)
+        offsets = [0]
+        for i in range(14):
+            offsets.append(offsets[-1] + (2 if i % 2 == 0 else 5))
+        requests = feed(m, offsets)
+        assert requests
+        next_delta = 2 if 14 % 2 == 0 else 5
+        assert (requests[0].address - PAGE) // 64 == offsets[-1] + next_delta
+
+    def test_stays_in_page(self):
+        m = Matryoshka(degree=8)
+        for r in feed(m, [50, 53, 56, 59, 62]):
+            assert r.address & ~0xFFF == PAGE
+
+    def test_table_bounded(self):
+        m = Matryoshka(table_entries=16)
+        rng = np.random.default_rng(0)
+        for i in range(500):
+            feed(m, [int(rng.integers(0, 64)) for _ in range(4)],
+                 page=PAGE + (i % 32) * 4096)
+        assert len(m._table) <= 16
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ValueError):
+            Matryoshka(max_history=0)
+
+
+class TestTriage:
+    def test_learns_temporal_pairs(self):
+        t = Triage(degree=1)
+        chain = [111, 99999, 345, 787878]
+        feed(t, chain)                      # learn (all misses)
+        requests = feed(t, [chain[0]])      # revisit the head
+        assert requests
+        assert requests[0].address == PAGE + chain[1] * 64
+
+    def test_chained_degree(self):
+        t = Triage(degree=3)
+        chain = [1, 50, 999, 12345, 777]
+        feed(t, chain)
+        requests = feed(t, [chain[1]])
+        assert [(r.address - PAGE) // 64 for r in requests] == chain[2:5]
+
+    def test_hits_do_not_train_by_default(self):
+        t = Triage(degree=1)
+        feed(t, [10, 20, 30], hit=True)
+        assert len(t._next) == 0
+        t2 = Triage(degree=1, train_on_hits=True)
+        feed(t2, [10, 20, 30], hit=True)
+        assert len(t2._next) > 0
+
+    def test_metadata_budget_bounded(self):
+        t = Triage(metadata_lines=32)
+        rng = np.random.default_rng(1)
+        feed(t, [int(rng.integers(0, 1 << 20)) for _ in range(500)])
+        assert len(t._next) <= 32
+
+    def test_self_loop_pairs_ignored(self):
+        t = Triage(degree=1)
+        feed(t, [5, 5, 5])
+        assert t._next.get((PAGE + 5 * 64) >> 6) is None

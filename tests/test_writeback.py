@@ -1,0 +1,72 @@
+"""Dirty-line writeback traffic: propagation down the hierarchy."""
+
+import numpy as np
+
+from repro.memtrace.access import MemoryAccess
+from repro.memtrace.trace import Trace
+from repro.sim.engine import simulate
+from repro.sim.hierarchy import Hierarchy
+from repro.sim.params import SystemConfig
+
+
+def build():
+    from repro.prefetchers.base import NoPrefetcher
+    return Hierarchy.build(SystemConfig.default(), NoPrefetcher())
+
+
+class TestWritebackPropagation:
+    def test_clean_evictions_produce_no_writebacks(self):
+        h = build()
+        cycle = 0.0
+        for i in range(h.l1d.ways + 4):
+            addr = 0x100000 + i * h.l1d.num_sets * 64
+            latency, _ = h.demand_access(addr, cycle)
+            cycle += latency + 1
+        h._sync(cycle + 1e6)
+        assert h.dram.stats.writeback_requests == 0
+
+    def test_dirty_l1_victim_marks_l2(self):
+        h = build()
+        addr = 0x200000
+        latency, _ = h.demand_access(addr, 0.0, is_write=True)
+        h._sync(latency + 1)
+        line = addr >> 6
+        assert h.l1d.probe(line).dirty
+        assert not h.l2c.probe(line).dirty
+        # Evict from L1 through the hierarchy path so the victim propagates.
+        i = 1
+        while h.l1d.contains(line):
+            h._apply_private_fill(h.l1d, line + i * h.l1d.num_sets,
+                                  latency + 1 + i, False, False)
+            i += 1
+        assert h.l2c.probe(line).dirty
+
+    def test_llc_dirty_eviction_writes_to_dram(self):
+        h = build()
+        # Make a dirty LLC line directly, then evict it.
+        line = 0x300000 >> 6
+        h.llc.fill_now(line, 0.0, is_write=True)
+        for i in range(1, h.llc.ways + 1):
+            h._apply_llc_fill(line + i * h.llc.num_sets, float(i), False)
+        assert h.dram.stats.writeback_requests == 1
+
+    def test_write_heavy_trace_generates_wb_traffic(self):
+        rng = np.random.default_rng(0)
+        trace = Trace("writes")
+        # A working set larger than the LLC, all stores.
+        for i in range(20_000):
+            line = int(rng.integers(0, 1 << 16))
+            trace.append(MemoryAccess(pc=0x400, address=line * 64,
+                                      is_write=True, gap=30))
+        result = simulate(trace)
+        assert result.dram_writeback_requests > 0
+        assert result.dram_requests > result.dram_demand_requests
+
+    def test_read_only_trace_generates_none(self):
+        rng = np.random.default_rng(0)
+        trace = Trace("reads")
+        for i in range(5_000):
+            line = int(rng.integers(0, 1 << 16))
+            trace.append(MemoryAccess(pc=0x400, address=line * 64, gap=30))
+        result = simulate(trace)
+        assert result.dram_writeback_requests == 0
