@@ -3,7 +3,10 @@
 The heavy five-prefetcher suite comparison is computed once per session
 (`headline` fixture); the per-figure benches derive their tables from it.
 Sweep benches use a smaller runner so the whole harness stays minutes, not
-hours.  Scale up with ``--bench-accesses`` / ``--bench-traces``.
+hours.  Scale up with ``--bench-accesses`` / ``--bench-traces``; fan
+simulations out with ``--bench-workers N``; persist results across harness
+runs with ``--bench-cache DIR`` (a warm cache makes the whole suite replay
+without a single new simulate() call).
 """
 
 from __future__ import annotations
@@ -20,6 +23,10 @@ def pytest_addoption(parser):
                      help="trace length for benchmark runs")
     parser.addoption("--bench-traces", type=int, default=0,
                      help="number of quick-suite traces (0 = all 8)")
+    parser.addoption("--bench-workers", type=int, default=0,
+                     help="simulate() worker processes (0/1 = serial)")
+    parser.addoption("--bench-cache", default="",
+                     help="persistent result-cache directory ('' = off)")
 
 
 @pytest.fixture(scope="session")
@@ -35,15 +42,27 @@ def bench_specs(request):
 
 
 @pytest.fixture(scope="session")
-def suite_runner(bench_specs, bench_accesses):
-    """Full-size runner for the headline comparison."""
-    return SuiteRunner(specs=bench_specs, accesses=bench_accesses)
+def bench_workers(request):
+    return request.config.getoption("--bench-workers")
 
 
 @pytest.fixture(scope="session")
-def sweep_runner(bench_specs, bench_accesses):
+def bench_cache(request):
+    return request.config.getoption("--bench-cache") or None
+
+
+@pytest.fixture(scope="session")
+def suite_runner(bench_specs, bench_accesses, bench_workers, bench_cache):
+    """Full-size runner for the headline comparison."""
+    return SuiteRunner(specs=bench_specs, accesses=bench_accesses,
+                       workers=bench_workers, cache=bench_cache)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner(bench_specs, bench_accesses, bench_workers, bench_cache):
     """Reduced runner for parameter sweeps (many configurations each)."""
-    return SuiteRunner(specs=bench_specs[:4], accesses=bench_accesses * 3 // 4)
+    return SuiteRunner(specs=bench_specs[:4], accesses=bench_accesses * 3 // 4,
+                       workers=bench_workers, cache=bench_cache)
 
 
 @pytest.fixture(scope="session")

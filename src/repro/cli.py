@@ -3,11 +3,19 @@
 Examples::
 
     pmp-repro fig8                  # five-prefetcher single-core NIPC
+    pmp-repro run fig8 --workers 4  # same, fanned out over 4 processes
     pmp-repro table1                # PCR/PDR feature analysis
     pmp-repro fig12a --accesses 40000
     pmp-repro fig13 --traces 4
     pmp-repro storage               # Tables III and V
-    pmp-repro all                   # everything (slow)
+    pmp-repro all --no-cache        # everything (slow), bypass result cache
+    pmp-repro run fig9 --cache-dir /tmp/pmp-cache
+
+Simulation-backed commands persist their results under ``--cache-dir``
+(default ``.repro-cache/``) keyed by a content hash of (trace, prefetcher
+config, system config), so a rerun replays instantly; every run also
+writes a JSON manifest (git SHA, timings, cache hit/miss counts) under
+``<cache-dir>/manifests/``.
 """
 
 from __future__ import annotations
@@ -56,7 +64,12 @@ def _runner(args: argparse.Namespace) -> SuiteRunner:
     if args.trace_cache:
         from .memtrace.store import TraceStore
         store = TraceStore(args.trace_cache)
-    return SuiteRunner(specs=_specs(args), accesses=args.accesses, store=store)
+    runner = SuiteRunner(specs=_specs(args), accesses=args.accesses,
+                         store=store, workers=args.workers,
+                         cache=args.cache_dir if args.cache else None)
+    # main() writes one manifest per experiment from the runners it created.
+    args.created_runners.append(runner)
+    return runner
 
 
 def cmd_fig8(args: argparse.Namespace) -> None:
@@ -157,7 +170,8 @@ def cmd_fig12b(args: argparse.Namespace) -> None:
 
 def cmd_fig13(args: argparse.Namespace) -> None:
     """Fig 13: 4-core homogeneous and heterogeneous mixes."""
-    print(fig13_report(fig13(_specs(args), accesses=args.accesses // 2)))
+    print(fig13_report(fig13(_specs(args), accesses=args.accesses // 2,
+                             workers=args.workers)))
 
 
 def cmd_storage(args: argparse.Namespace) -> None:
@@ -196,6 +210,12 @@ COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments and run the chosen experiments."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `pmp-repro run fig8 ...` is sugar for `pmp-repro fig8 ...`; the
+    # explicit verb exists for scripts/CI that drive the parallel engine.
+    if argv and argv[0] == "run":
+        argv = argv[1:]
     parser = argparse.ArgumentParser(
         prog="pmp-repro",
         description="Reproduce the PMP paper's tables and figures.")
@@ -209,13 +229,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="use all 125 workloads (slow)")
     parser.add_argument("--trace-cache", default="",
                         help="directory to cache built traces between runs")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="simulate() processes (0/1 = serial)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="persist simulation results across runs")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="result cache / manifest directory")
     args = parser.parse_args(argv)
 
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
+        args.created_runners = []
         print(f"== {name} ==")
         COMMANDS[name](args)
+        for runner in args.created_runners:
+            manifest_dir = f"{args.cache_dir}/manifests"
+            path = runner.write_manifest(name, manifest_dir)
+            counters = runner.engine.counters
+            print(f"[manifest: {path} — {counters.simulated} simulated, "
+                  f"{counters.cache_hits} cache hits]")
         print(f"[{name} took {time.time() - start:.1f}s]\n")
     return 0
 

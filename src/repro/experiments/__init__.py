@@ -27,8 +27,11 @@ from .multi_core import (
     heterogeneous_speedup,
     homogeneous_speedup,
 )
+from .cache import ResultCache
+from .engine import ExperimentEngine, SimJob
+from .manifest import RunManifest, current_git_sha
 from .report import format_percent, format_series, format_table
-from .runner import SuiteRunner
+from .runner import ParallelSuiteRunner, SuiteRunner
 from .sensitivity import bandwidth_sweep, llc_size_sweep
 from .single_core import (
     SingleCoreResults,
@@ -39,9 +42,15 @@ from .single_core import (
 )
 
 __all__ = [
+    "ExperimentEngine",
+    "ParallelSuiteRunner",
+    "ResultCache",
+    "RunManifest",
+    "SimJob",
     "SingleCoreResults",
     "SuiteRunner",
     "TABLE_VII_MIXES",
+    "current_git_sha",
     "bandwidth_sweep",
     "build_heterogeneous_mixes",
     "counter_size_sweep",

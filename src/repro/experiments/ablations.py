@@ -1,7 +1,10 @@
 """Design ablations: Tables VIII, IX, X, XI and Sections V-E2/V-E3.
 
 Each sweep is a function returning ``list[(knob value, geomean NIPC)]``
-plus a report helper, matching the corresponding paper table.
+plus a report helper, matching the corresponding paper table.  All sweeps
+hand their whole configuration list to :meth:`SuiteRunner.nipc_sweep`,
+which flattens (configurations × traces) plus the baselines into a single
+engine batch — with ``workers=N`` the entire table fans out at once.
 """
 
 from __future__ import annotations
@@ -19,41 +22,39 @@ def design_b_sweep(runner: SuiteRunner | None = None,
                    ways: tuple[int, ...] = (8, 32, 128, 512)) -> Sweep:
     """Table VIII: Design B NIPC vs associativity, with PMP as reference."""
     runner = runner or SuiteRunner()
-    sweep: Sweep = [(w, runner.geomean_nipc(lambda w=w: DesignB(w)))
-                    for w in ways]
-    sweep.append(("pmp", runner.geomean_nipc(PMP)))
-    return sweep
+    labelled = [(w, lambda w=w: DesignB(w)) for w in ways]
+    labelled.append(("pmp", PMP))
+    return runner.nipc_sweep(labelled)
 
 
 def extraction_sweep(runner: SuiteRunner | None = None) -> Sweep:
     """Section V-E2: the three prefetch pattern extraction schemes."""
     runner = runner or SuiteRunner()
-    return [
-        (scheme, runner.geomean_nipc(
-            lambda s=scheme: PMP(PMPConfig(extraction=s))))
+    return runner.nipc_sweep([
+        (scheme, lambda s=scheme: PMP(PMPConfig(extraction=s)))
         for scheme in ("afe", "ane", "are")
-    ]
+    ])
 
 
 def structure_sweep(runner: SuiteRunner | None = None) -> Sweep:
     """Section V-E3: dual tables vs combined feature vs single OPT/PPT."""
     runner = runner or SuiteRunner()
-    return [
-        (structure, runner.geomean_nipc(
-            lambda s=structure: PMP(PMPConfig(structure=s))))
+    return runner.nipc_sweep([
+        (structure, lambda s=structure: PMP(PMPConfig(structure=s)))
         for structure in ("dual", "combined", "opt", "ppt")
-    ]
+    ])
 
 
 def pattern_length_sweep(runner: SuiteRunner | None = None) -> list[tuple[int, float, float]]:
     """Table IX: (pattern length, geomean NIPC, storage KiB)."""
     runner = runner or SuiteRunner()
-    out = []
-    for region_bytes in (4096, 2048, 1024):
-        config = PMPConfig(region_bytes=region_bytes)
-        nipc = runner.geomean_nipc(lambda c=config: PMP(c))
-        out.append((config.pattern_length, nipc, pmp_budget(config).total_kib))
-    return out
+    configs = [PMPConfig(region_bytes=rb) for rb in (4096, 2048, 1024)]
+    sweep = runner.nipc_sweep([
+        (config.pattern_length, lambda c=config: PMP(c))
+        for config in configs
+    ])
+    return [(length, nipc, pmp_budget(config).total_kib)
+            for (length, nipc), config in zip(sweep, configs)]
 
 
 def trigger_offset_width_sweep(runner: SuiteRunner | None = None,
@@ -65,34 +66,33 @@ def trigger_offset_width_sweep(runner: SuiteRunner | None = None,
     together and lose accuracy.
     """
     runner = runner or SuiteRunner()
-    out = []
-    for width in widths:
-        config = PMPConfig(trigger_offset_bits=width)
-        nipc = runner.geomean_nipc(lambda c=config: PMP(c))
-        out.append((width, nipc, pmp_budget(config).total_kib))
-    return out
+    configs = [PMPConfig(trigger_offset_bits=w) for w in widths]
+    sweep = runner.nipc_sweep([
+        (width, lambda c=config: PMP(c))
+        for width, config in zip(widths, configs)
+    ])
+    return [(width, nipc, pmp_budget(config).total_kib)
+            for (width, nipc), config in zip(sweep, configs)]
 
 
 def counter_size_sweep(runner: SuiteRunner | None = None,
                        sizes: tuple[int, ...] = (2, 3, 4, 5, 6, 8)) -> Sweep:
     """Table X right: OPT counter width vs NIPC."""
     runner = runner or SuiteRunner()
-    return [
-        (bits, runner.geomean_nipc(
-            lambda b=bits: PMP(PMPConfig(opt_counter_bits=b))))
+    return runner.nipc_sweep([
+        (bits, lambda b=bits: PMP(PMPConfig(opt_counter_bits=b)))
         for bits in sizes
-    ]
+    ])
 
 
 def monitoring_range_sweep(runner: SuiteRunner | None = None,
                            ranges: tuple[int, ...] = (1, 2, 4, 8)) -> Sweep:
     """Table XI: PPT monitoring range vs NIPC."""
     runner = runner or SuiteRunner()
-    return [
-        (rng, runner.geomean_nipc(
-            lambda r=rng: PMP(PMPConfig(monitoring_range=r))))
+    return runner.nipc_sweep([
+        (rng, lambda r=rng: PMP(PMPConfig(monitoring_range=r)))
         for rng in ranges
-    ]
+    ])
 
 
 def sweep_report(title: str, knob: str, sweep: Sweep) -> str:

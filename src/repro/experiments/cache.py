@@ -1,0 +1,169 @@
+"""Persistent, content-addressed simulation result cache.
+
+Every ``simulate()`` call the experiment engine makes is identified by a
+content hash over everything that determines its output:
+
+* the trace (name, seed, and the full packed access stream),
+* the prefetcher (class plus its entire freshly-constructed state, which
+  captures every config knob without per-prefetcher plumbing),
+* the full :class:`~repro.sim.params.SystemConfig`,
+* the warmup fraction and a cache-format version salt.
+
+Results are stored one JSON file per key under ``<dir>/results/``, in the
+:meth:`SimResult.to_dict` form, so a warm-cache rerun of any experiment
+matrix replays the exact numbers without a single new simulation.  The
+hit/miss counters feed the per-experiment run manifests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as dataclass_fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+
+from ..prefetchers.base import Prefetcher
+from ..sim.stats import SimResult
+
+#: Bump whenever SimResult semantics or simulator behaviour changes in a
+#: way that invalidates stored numbers.
+CACHE_VERSION = 1
+
+_MAX_DEPTH = 16
+
+
+def canonical(obj, depth: int = 0):
+    """A deterministic, JSON-serialisable view of (nearly) any object.
+
+    Used to fingerprint prefetcher state and system configs.  Enum check
+    precedes int (FillLevel is an IntEnum); floats go through ``repr`` so
+    distinct values never collide via formatting.
+    """
+    if depth > _MAX_DEPTH:
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return [type(obj).__name__, canonical(obj.value, depth + 1)]
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        return ["f", repr(obj)]
+    if isinstance(obj, bytes):
+        return ["bytes", hashlib.sha256(obj).hexdigest()]
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return ["ndarray", str(data.dtype), list(data.shape),
+                hashlib.sha256(data.tobytes()).hexdigest()]
+    if isinstance(obj, (np.integer, np.bool_)):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return ["f", repr(float(obj))]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return [type(obj).__name__,
+                {f.name: canonical(getattr(obj, f.name), depth + 1)
+                 for f in dataclass_fields(obj)}]
+    if isinstance(obj, dict):
+        items = [[canonical(k, depth + 1), canonical(v, depth + 1)]
+                 for k, v in obj.items()]
+        return ["dict", sorted(items, key=_sort_key)]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item, depth + 1) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted((canonical(i, depth + 1) for i in obj),
+                              key=_sort_key)]
+    state = _instance_state(obj)
+    if state is not None:
+        return [type(obj).__qualname__, canonical(state, depth + 1)]
+    return [type(obj).__qualname__, repr(obj)]
+
+
+def _sort_key(item) -> str:
+    return json.dumps(item, sort_keys=True, separators=(",", ":"))
+
+
+def _instance_state(obj) -> dict | None:
+    """Attribute dict of an arbitrary object (handles __slots__), if any."""
+    state = getattr(obj, "__dict__", None)
+    if state:
+        return dict(state)
+    slots = getattr(type(obj), "__slots__", None)
+    if slots:
+        return {name: getattr(obj, name) for name in slots
+                if hasattr(obj, name)}
+    return None
+
+
+def fingerprint(obj) -> str:
+    """SHA-256 hex digest of :func:`canonical`."""
+    payload = json.dumps(canonical(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def prefetcher_fingerprint(prefetcher: Prefetcher) -> str:
+    """Identity of a freshly-constructed prefetcher: class + initial state.
+
+    Construction is deterministic for every prefetcher in the repo, so
+    hashing the initial state distinguishes configurations (a
+    ``PMP(PMPConfig(region_bytes=2048))`` hashes differently from the
+    default) without requiring each class to declare its knobs.
+    """
+    return fingerprint([type(prefetcher).__module__,
+                        type(prefetcher).__qualname__,
+                        prefetcher.name,
+                        _instance_state(prefetcher) or {}])
+
+
+class ResultCache:
+    """Directory-backed store of :class:`SimResult`s keyed by content hash."""
+
+    def __init__(self, directory: str | Path = ".repro-cache") -> None:
+        self.directory = Path(directory)
+        self.results_dir = self.directory / "results"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path_for(self, key: str) -> Path:
+        return self.results_dir / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        """The stored result for a key, or None (counts hit/miss)."""
+        path = self._path_for(key)
+        try:
+            with path.open() as fh:
+                data = json.load(fh)
+            result = SimResult.from_dict(data["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            path.unlink(missing_ok=True)  # corrupt entry: drop and re-run
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Persist one result (atomic via rename)."""
+        path = self._path_for(key)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as fh:
+            json.dump({"version": CACHE_VERSION, "key": key,
+                       "result": result.to_dict()}, fh)
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.results_dir.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete all stored results; returns how many were removed."""
+        removed = 0
+        for path in self.results_dir.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,159 @@
+"""Parallel, cached execution engine for batches of ``simulate()`` calls.
+
+The engine turns an experiment matrix (traces × prefetcher configs ×
+system configs) into a flat list of :class:`SimJob`s and executes them:
+
+1. **Cache lookup** — each job is content-hashed (see
+   :mod:`repro.experiments.cache`); hits return the stored result without
+   simulating.
+2. **Fan-out** — misses run either serially (``workers <= 1``) or on a
+   :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are placed
+   back by job index, and every job's prefetcher instance is constructed
+   in the parent *in job order* before dispatch, so parallel runs are
+   bit-identical to serial runs regardless of completion order.
+3. **Write-back** — fresh results are persisted to the cache and the
+   hit/miss/simulated counters are accumulated for the run manifest.
+
+Workers receive traces as packed numpy arrays (``Trace.to_arrays``) to
+keep pickling cheap; a job whose payload cannot be pickled (exotic
+closure-holding prefetcher) transparently falls back to in-process
+execution rather than failing the batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memtrace.trace import Trace, TraceArrays
+from ..prefetchers.base import Prefetcher
+from ..sim.engine import simulate
+from ..sim.params import SystemConfig
+from ..sim.stats import SimResult
+from .cache import CACHE_VERSION, ResultCache, fingerprint, prefetcher_fingerprint
+
+
+@dataclass
+class SimJob:
+    """One (trace, fresh prefetcher, config) simulation to run."""
+
+    trace: Trace
+    prefetcher: Prefetcher
+    config: SystemConfig
+    warmup_fraction: float = 0.2
+
+    def key(self) -> str:
+        """Content hash identifying this job's result."""
+        return fingerprint([
+            CACHE_VERSION,
+            self.trace.content_hash(),
+            prefetcher_fingerprint(self.prefetcher),
+            self.config.fingerprint(),
+            repr(self.warmup_fraction),
+        ])
+
+
+def _simulate_payload(name: str, family: str, seed: int, arrays: TraceArrays,
+                      prefetcher: Prefetcher, config: SystemConfig,
+                      warmup_fraction: float) -> SimResult:
+    """Worker entry point: rebuild the trace and run one simulation."""
+    trace = Trace.from_arrays(name, arrays, family=family, seed=seed)
+    return simulate(trace, prefetcher, config, warmup_fraction)
+
+
+@dataclass
+class EngineCounters:
+    """What the engine did so far (feeds the run manifest)."""
+
+    jobs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated": self.simulated,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
+class ExperimentEngine:
+    """Runs :class:`SimJob` batches with optional workers and caching."""
+
+    workers: int = 0
+    cache: ResultCache | None = None
+    counters: EngineCounters = field(default_factory=EngineCounters)
+
+    def run_jobs(self, jobs: list[SimJob]) -> list[SimResult]:
+        """Execute a batch; results align with ``jobs`` by index."""
+        start = time.perf_counter()
+        results: list[SimResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, SimJob, str | None]] = []
+        for index, job in enumerate(jobs):
+            key = None
+            if self.cache is not None:
+                key = job.key()
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    self.counters.cache_hits += 1
+                    continue
+                self.counters.cache_misses += 1
+            pending.append((index, job, key))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                self._run_parallel(pending, results)
+            else:
+                for index, job, _ in pending:
+                    results[index] = simulate(job.trace, job.prefetcher,
+                                              job.config, job.warmup_fraction)
+            self.counters.simulated += len(pending)
+            if self.cache is not None:
+                for index, _, key in pending:
+                    if key is not None:
+                        self.cache.put(key, results[index])
+
+        self.counters.jobs += len(jobs)
+        self.counters.batches += 1
+        self.counters.wall_seconds += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def _run_parallel(self, pending: list[tuple[int, SimJob, str | None]],
+                      results: list[SimResult | None]) -> None:
+        """Fan pending jobs out over a process pool, keeping job order.
+
+        A job that cannot cross the process boundary (pickling error) or
+        whose worker died runs in-process instead; a deterministic failure
+        inside ``simulate()`` itself will then re-raise identically here.
+        """
+        max_workers = min(self.workers, len(pending))
+        retry_inline: list[tuple[int, SimJob]] = []
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = []
+            for index, job, _ in pending:
+                pcs, addrs, writes, gaps = job.trace.to_arrays()
+                futures.append((index, job, pool.submit(
+                    _simulate_payload, job.trace.name, job.trace.family,
+                    job.trace.seed,
+                    (np.asarray(pcs), np.asarray(addrs),
+                     np.asarray(writes), np.asarray(gaps)),
+                    job.prefetcher, job.config, job.warmup_fraction)))
+            for index, job, future in futures:
+                try:
+                    results[index] = future.result()
+                except Exception:
+                    retry_inline.append((index, job))
+        for index, job in retry_inline:
+            results[index] = simulate(job.trace, job.prefetcher,
+                                      job.config, job.warmup_fraction)

@@ -4,15 +4,21 @@ Homogeneous runs put the same trace on all four cores; heterogeneous runs
 build the paper's Table VII MPKI-class mixes (all-low, all-medium,
 all-high, and the three half/half combinations), with traces drawn
 deterministically from the classified suite.
+
+:func:`fig13` evaluates every (trace set × prefetcher) cell — plus one
+shared baseline run per trace set — as independent tasks, optionally
+fanned out over a process pool (``workers=N``).  Task results are placed
+back by index, so parallel numbers match serial ones exactly.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
-from ..memtrace.trace import rebase
+from ..memtrace.trace import Trace, rebase
 from ..memtrace.workloads import WorkloadSpec, classify_suite, quick_suite
 from ..prefetchers import COMPETITORS
 from ..prefetchers.base import NoPrefetcher, Prefetcher
@@ -89,19 +95,91 @@ def heterogeneous_speedup(factory: PrefetcherFactory,
     return geomean(values)
 
 
+def _multicore_task(payload: list[tuple[str, str, int, tuple]],
+                    factory: PrefetcherFactory,
+                    config: SystemConfig) -> list:
+    """Worker entry point: rebuild one trace set, run one multicore sim."""
+    traces = [Trace.from_arrays(name, arrays, family=family, seed=seed)
+              for name, family, seed, arrays in payload]
+    return simulate_multicore(traces, factory, config)
+
+
+def _run_trace_sets(trace_sets: Sequence[Sequence[Trace]],
+                    factories: dict[str, PrefetcherFactory],
+                    config: SystemConfig,
+                    workers: int = 0) -> dict[str, list[list]]:
+    """Per trace set: every prefetcher plus one shared baseline run.
+
+    Returns ``{name: [per-set SimResult lists]}`` with the baseline under
+    ``"baseline"``.  Tasks are independent, so with ``workers > 1`` the
+    whole Fig 13 grid fans out at once; a task that cannot be pickled
+    falls back to in-process execution.
+    """
+    names = list(factories) + ["baseline"]
+    tasks = [(set_index, name)
+             for set_index in range(len(trace_sets)) for name in names]
+    results: dict[tuple[int, str], list] = {}
+
+    def factory_for(name: str) -> PrefetcherFactory:
+        return NoPrefetcher if name == "baseline" else factories[name]
+
+    if workers > 1 and len(tasks) > 1:
+        payloads = [[(t.name, t.family, t.seed, t.to_arrays())
+                     for t in trace_set] for trace_set in trace_sets]
+        retry: list[tuple[int, str]] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            futures = {task: pool.submit(_multicore_task,
+                                         payloads[task[0]],
+                                         factory_for(task[1]), config)
+                       for task in tasks}
+            for task, future in futures.items():
+                try:
+                    results[task] = future.result()
+                except Exception:
+                    retry.append(task)
+        for task in retry:
+            results[task] = simulate_multicore(list(trace_sets[task[0]]),
+                                               factory_for(task[1]), config)
+    else:
+        for set_index, name in tasks:
+            results[(set_index, name)] = simulate_multicore(
+                list(trace_sets[set_index]), factory_for(name), config)
+
+    return {name: [results[(i, name)] for i in range(len(trace_sets))]
+            for name in names}
+
+
 def fig13(specs: Sequence[WorkloadSpec] | None = None,
           accesses: int = 15_000,
-          prefetchers: dict[str, PrefetcherFactory] | None = None) -> dict[str, dict[str, float]]:
-    """Full Fig 13: homogeneous + heterogeneous speedups per prefetcher."""
+          prefetchers: dict[str, PrefetcherFactory] | None = None,
+          workers: int = 0) -> dict[str, dict[str, float]]:
+    """Full Fig 13: homogeneous + heterogeneous speedups per prefetcher.
+
+    Each trace set's baseline is simulated once and shared across every
+    prefetcher (the old per-prefetcher recomputation was the dominant
+    cost); ``workers=N`` distributes the whole grid.
+    """
     prefetchers = prefetchers or dict(COMPETITORS)
     homogeneous_specs = list(specs or quick_suite()[:4])
     mixes = build_heterogeneous_mixes(specs)
+    config = SystemConfig.default().for_multicore(4)
+
+    homo_sets = [[rebase(spec.build(accesses), core) for core in range(4)]
+                 for spec in homogeneous_specs]
+    het_sets = [[rebase(spec.build(accesses), core)
+                 for core, spec in enumerate(mix_specs)]
+                for _, mix_specs in mixes]
+    runs = _run_trace_sets(homo_sets + het_sets, prefetchers, config, workers)
+
+    n_homo = len(homo_sets)
+    baselines = runs["baseline"]
     out: dict[str, dict[str, float]] = {}
-    for name, factory in prefetchers.items():
+    for name in prefetchers:
+        speedups = [multicore_speedup(r, b)
+                    for r, b in zip(runs[name], baselines)]
         out[name] = {
-            "homogeneous": homogeneous_speedup(factory, homogeneous_specs,
-                                               accesses),
-            "heterogeneous": heterogeneous_speedup(factory, mixes, accesses),
+            "homogeneous": geomean(speedups[:n_homo]),
+            "heterogeneous": geomean(speedups[n_homo:]),
         }
     return out
 

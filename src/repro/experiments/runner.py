@@ -3,20 +3,39 @@
 All per-table/per-figure experiment modules go through :class:`SuiteRunner`
 so traces and baseline runs are computed once and reused across the
 experiment matrix (baseline runs dominate cost otherwise).
+
+The runner delegates execution to an :class:`ExperimentEngine`, which adds
+two orthogonal capabilities:
+
+* ``workers=N`` fans ``simulate()`` calls out over a process pool with
+  deterministic job ordering — parallel results are bit-identical to
+  serial ones (asserted by ``tests/test_parallel_runner.py``).
+* ``cache=<dir>`` persists every result on disk keyed by a content hash of
+  (trace stream, prefetcher state, full system config, warmup), so reruns
+  of any experiment replay instantly and exactly.
+
+Batch entry points (:meth:`matrix`, :meth:`suite_comparison`,
+:meth:`nipc_sweep`, :meth:`nipc_grid`) flatten whole experiment matrices
+into one engine batch, which is what keeps a worker pool busy instead of
+synchronising after every 8-trace run.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 from ..memtrace.store import TraceStore
 from ..memtrace.trace import Trace
 from ..memtrace.workloads import WorkloadSpec, quick_suite
 from ..prefetchers.base import NoPrefetcher, Prefetcher
-from ..sim.engine import simulate
 from ..sim.params import SystemConfig
 from ..sim.stats import SimResult, geomean
+from .cache import ResultCache
+from .engine import ExperimentEngine, SimJob
+from .manifest import RunManifest
 
 PrefetcherFactory = Callable[[], Prefetcher]
 
@@ -25,17 +44,31 @@ DEFAULT_ACCESSES = 25_000
 
 @dataclass
 class SuiteRunner:
-    """Runs prefetcher configurations over a workload suite with caching."""
+    """Runs prefetcher configurations over a workload suite with caching.
+
+    ``workers=0`` (or 1) runs serially in-process; ``workers=N`` uses a
+    process pool.  ``cache`` may be a :class:`ResultCache` or a directory
+    path; ``None`` disables the persistent cache (in-memory baseline
+    memoisation still applies).
+    """
 
     specs: Sequence[WorkloadSpec] = field(default_factory=quick_suite)
     accesses: int = DEFAULT_ACCESSES
     config: SystemConfig = field(default_factory=SystemConfig.default)
     warmup_fraction: float = 0.2
     store: TraceStore | None = None
+    workers: int = 0
+    cache: ResultCache | str | Path | None = None
 
     def __post_init__(self) -> None:
         self._traces: list[Trace] | None = None
-        self._baselines: dict[tuple, list[SimResult]] = {}
+        # Baseline runs keyed by the FULL config fingerprint.  The old key
+        # hashed only (DRAM rate, channels, LLC size); sweeps varying any
+        # other field silently reused stale baselines.
+        self._baselines: dict[str, list[SimResult]] = {}
+        if isinstance(self.cache, (str, Path)):
+            self.cache = ResultCache(self.cache)
+        self.engine = ExperimentEngine(workers=self.workers, cache=self.cache)
 
     @property
     def traces(self) -> list[Trace]:
@@ -49,35 +82,160 @@ class SuiteRunner:
                                 for spec in self.specs]
         return self._traces
 
-    def baselines(self, config: SystemConfig | None = None) -> list[SimResult]:
-        """No-prefetcher runs (cached per system configuration)."""
-        cfg = config or self.config
-        key = (cfg.dram.mt_per_sec, cfg.dram.channels, cfg.llc.size_bytes)
-        if key not in self._baselines:
-            self._baselines[key] = [
-                simulate(trace, NoPrefetcher(), cfg, self.warmup_fraction)
+    # ------------------------------------------------------------ job plumbing
+
+    def _jobs(self, factory: PrefetcherFactory,
+              config: SystemConfig) -> list[SimJob]:
+        """One fresh-prefetcher job per trace, in suite order."""
+        return [SimJob(trace, factory(), config, self.warmup_fraction)
                 for trace in self.traces]
+
+    def baselines(self, config: SystemConfig | None = None) -> list[SimResult]:
+        """No-prefetcher runs (cached per full system configuration)."""
+        cfg = config or self.config
+        key = cfg.fingerprint()
+        if key not in self._baselines:
+            self._baselines[key] = self.engine.run_jobs(
+                self._jobs(NoPrefetcher, cfg))
         return self._baselines[key]
 
     def run(self, factory: PrefetcherFactory,
             config: SystemConfig | None = None) -> list[SimResult]:
         """Simulate one prefetcher configuration over the suite."""
         cfg = config or self.config
-        return [simulate(trace, factory(), cfg, self.warmup_fraction)
-                for trace in self.traces]
+        return self.engine.run_jobs(self._jobs(factory, cfg))
 
     def geomean_nipc(self, factory: PrefetcherFactory,
                      config: SystemConfig | None = None) -> float:
         """Suite-wide NIPC for one prefetcher configuration."""
-        results = self.run(factory, config)
-        baselines = self.baselines(config)
-        return geomean([r.nipc(b) for r, b in zip(results, baselines)])
+        sweep = self.nipc_sweep([("only", factory)], config)
+        return sweep[0][1]
 
     def matrix(self, factories: dict[str, PrefetcherFactory],
                config: SystemConfig | None = None) -> dict[str, list[SimResult]]:
-        """Run several prefetchers over the whole suite."""
-        return {name: self.run(factory, config)
-                for name, factory in factories.items()}
+        """Run several prefetchers over the whole suite (one engine batch)."""
+        cfg = config or self.config
+        names = list(factories)
+        jobs: list[SimJob] = []
+        for name in names:
+            jobs.extend(self._jobs(factories[name], cfg))
+        flat = self.engine.run_jobs(jobs)
+        width = len(self.traces)
+        return {name: flat[i * width:(i + 1) * width]
+                for i, name in enumerate(names)}
+
+    def suite_comparison(self, factories: dict[str, PrefetcherFactory],
+                         config: SystemConfig | None = None,
+                         ) -> tuple[dict[str, list[SimResult]], list[SimResult]]:
+        """A prefetcher matrix plus its baselines, batched together.
+
+        Baselines join the same engine batch when not already memoised, so
+        a cold parallel run keeps every worker busy from the first job.
+        """
+        cfg = config or self.config
+        key = cfg.fingerprint()
+        names = list(factories)
+        jobs: list[SimJob] = []
+        for name in names:
+            jobs.extend(self._jobs(factories[name], cfg))
+        need_baselines = key not in self._baselines
+        if need_baselines:
+            jobs.extend(self._jobs(NoPrefetcher, cfg))
+        flat = self.engine.run_jobs(jobs)
+        width = len(self.traces)
+        if need_baselines:
+            self._baselines[key] = flat[len(names) * width:]
+        matrix = {name: flat[i * width:(i + 1) * width]
+                  for i, name in enumerate(names)}
+        return matrix, self._baselines[key]
+
+    def nipc_sweep(self, labelled: Sequence[tuple[object, PrefetcherFactory]],
+                   config: SystemConfig | None = None) -> list[tuple[object, float]]:
+        """Geomean NIPC for many configurations of one sweep, batched.
+
+        Returns ``[(label, nipc)]`` in input order — the shape every
+        ablation table (VIII–XI, V-E2/3) consumes.
+        """
+        cfg = config or self.config
+        matrix, baselines = self.suite_comparison(
+            {f"sweep-{i}": factory for i, (_, factory) in enumerate(labelled)},
+            cfg)
+        return [
+            (label, geomean([r.nipc(b) for r, b in
+                             zip(matrix[f"sweep-{i}"], baselines)]))
+            for i, (label, _) in enumerate(labelled)
+        ]
+
+    def nipc_grid(self, factories: dict[str, PrefetcherFactory],
+                  configs: Sequence[tuple[object, SystemConfig]],
+                  ) -> dict[str, list[tuple[object, float]]]:
+        """Geomean NIPC of each prefetcher at each system config.
+
+        Flattens the full (config × prefetcher × trace) grid — plus one
+        baseline suite per config — into a single engine batch.  This is
+        the sensitivity-study shape (Fig 12a/12b).
+        """
+        names = list(factories)
+        width = len(self.traces)
+        jobs: list[SimJob] = []
+        result_slots: dict[tuple[int, str], int] = {}
+        baseline_slots: dict[str, int] = {}
+        for position, (_, cfg) in enumerate(configs):
+            for name in names:
+                result_slots[(position, name)] = len(jobs)
+                jobs.extend(self._jobs(factories[name], cfg))
+            key = cfg.fingerprint()
+            if key not in self._baselines and key not in baseline_slots:
+                baseline_slots[key] = len(jobs)
+                jobs.extend(self._jobs(NoPrefetcher, cfg))
+        flat = self.engine.run_jobs(jobs)
+        for key, slot in baseline_slots.items():
+            self._baselines[key] = flat[slot:slot + width]
+
+        out: dict[str, list[tuple[object, float]]] = {name: [] for name in names}
+        for position, (label, cfg) in enumerate(configs):
+            baselines = self._baselines[cfg.fingerprint()]
+            for name in names:
+                slot = result_slots[(position, name)]
+                results = flat[slot:slot + width]
+                out[name].append((label, geomean(
+                    [r.nipc(b) for r, b in zip(results, baselines)])))
+        return out
+
+    # -------------------------------------------------------- observability
+
+    def manifest(self, experiment: str) -> RunManifest:
+        """A manifest snapshot of everything this runner has executed."""
+        counters = self.engine.counters
+        cache_dir = (str(self.cache.directory)
+                     if isinstance(self.cache, ResultCache) else None)
+        return RunManifest(
+            experiment=experiment,
+            config_fingerprint=self.config.fingerprint(),
+            workers=self.workers,
+            accesses=self.accesses,
+            traces=[spec.name for spec in self.specs],
+            jobs=counters.jobs,
+            cache_hits=counters.cache_hits,
+            cache_misses=counters.cache_misses,
+            simulated=counters.simulated,
+            wall_seconds=counters.wall_seconds,
+            cache_dir=cache_dir,
+            extra={"batches": counters.batches,
+                   "warmup_fraction": self.warmup_fraction},
+        )
+
+    def write_manifest(self, experiment: str,
+                       directory: str | Path = ".repro-cache/manifests") -> Path:
+        """Write this runner's manifest; returns the file path."""
+        return self.manifest(experiment).write(directory)
+
+
+@dataclass
+class ParallelSuiteRunner(SuiteRunner):
+    """A :class:`SuiteRunner` that defaults to one worker per CPU core."""
+
+    workers: int = field(default_factory=lambda: os.cpu_count() or 1)
 
 
 def mean(values: Sequence[float]) -> float:

@@ -1,4 +1,10 @@
-"""Sensitivity studies: Fig 12a (DRAM bandwidth) and Fig 12b (LLC size)."""
+"""Sensitivity studies: Fig 12a (DRAM bandwidth) and Fig 12b (LLC size).
+
+Both sweeps flatten their whole (hardware knob × prefetcher × trace) grid
+— plus one baseline suite per knob value — into a single engine batch via
+:meth:`SuiteRunner.nipc_grid`, so ``workers=N`` parallelises across the
+entire figure, not one cell at a time.
+"""
 
 from __future__ import annotations
 
@@ -21,12 +27,9 @@ def bandwidth_sweep(runner: SuiteRunner | None = None,
     """
     runner = runner or SuiteRunner()
     prefetchers = prefetchers or dict(COMPETITORS)
-    out: dict[str, list[tuple[int, float]]] = {name: [] for name in prefetchers}
-    for mt in bandwidths:
-        config = SystemConfig.default().with_dram_rate(mt)
-        for name, factory in prefetchers.items():
-            out[name].append((mt, runner.geomean_nipc(factory, config)))
-    return out
+    configs = [(mt, SystemConfig.default().with_dram_rate(mt))
+               for mt in bandwidths]
+    return runner.nipc_grid(prefetchers, configs)
 
 
 def llc_size_sweep(runner: SuiteRunner | None = None,
@@ -39,12 +42,9 @@ def llc_size_sweep(runner: SuiteRunner | None = None,
     """
     runner = runner or SuiteRunner()
     prefetchers = prefetchers or dict(COMPETITORS)
-    out: dict[str, list[tuple[int, float]]] = {name: [] for name in prefetchers}
-    for mb in sizes_mb:
-        config = SystemConfig.default().with_llc_size(mb * 1024 * 1024)
-        for name, factory in prefetchers.items():
-            out[name].append((mb, runner.geomean_nipc(factory, config)))
-    return out
+    configs = [(mb, SystemConfig.default().with_llc_size(mb * 1024 * 1024))
+               for mb in sizes_mb]
+    return runner.nipc_grid(prefetchers, configs)
 
 
 def sweep_report(title: str, knob: str,

@@ -75,8 +75,9 @@ def run_single_core(runner: SuiteRunner | None = None,
     factories = dict(COMPETITORS)
     if include_pmp_limit:
         factories["pmp-limit"] = make_pmp_limit
-    baselines = runner.baselines()
-    matrix = runner.matrix(factories)
+    # One engine batch for the whole matrix plus baselines: with workers
+    # configured this is the experiment's entire fan-out.
+    matrix, baselines = runner.suite_comparison(factories)
 
     out = SingleCoreResults()
     for name, results in matrix.items():
@@ -108,8 +109,8 @@ def family_breakdown(runner: SuiteRunner | None = None,
 
     runner = runner or SuiteRunner()
     factory = factory or PMP
-    results = runner.run(factory)
-    baselines = runner.baselines()
+    matrix, baselines = runner.suite_comparison({"pmp": factory})
+    results = matrix["pmp"]
     by_family: dict[str, list[float]] = {}
     for spec, result, baseline in zip(runner.specs, results, baselines):
         by_family.setdefault(spec.family, []).append(result.nipc(baseline))

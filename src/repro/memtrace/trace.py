@@ -13,6 +13,7 @@ filter (cheap, deterministic, good enough for Low/Medium/High bucketing).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -23,6 +24,8 @@ import numpy as np
 from .access import DEFAULT_REGION_BYTES, MemoryAccess, region_of
 
 _BINARY_MAGIC = b"PMPTRC01"
+
+TraceArrays = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
 @dataclass
@@ -100,15 +103,60 @@ class Trace:
         out.accesses = self.accesses[start:stop]
         return out
 
+    # -------------------------------------------------------- array codecs
+
+    def to_arrays(self) -> TraceArrays:
+        """Pack the access stream into four compact numpy arrays.
+
+        The (pcs, addresses, writes, gaps) tuple is the trace's canonical
+        wire format: the binary file format, the content hash, and the
+        parallel-runner task payloads all build on it.
+        """
+        pcs = np.fromiter((a.pc for a in self.accesses), dtype=np.uint64, count=len(self))
+        addrs = np.fromiter((a.address for a in self.accesses), dtype=np.uint64, count=len(self))
+        writes = np.fromiter((a.is_write for a in self.accesses), dtype=np.uint8, count=len(self))
+        gaps = np.fromiter((a.gap for a in self.accesses), dtype=np.uint32, count=len(self))
+        return pcs, addrs, writes, gaps
+
+    @classmethod
+    def from_arrays(cls, name: str, arrays: TraceArrays,
+                    family: str = "synthetic", seed: int = 0) -> "Trace":
+        """Rebuild a trace from :meth:`to_arrays` output."""
+        pcs, addrs, writes, gaps = arrays
+        trace = cls(name=name, family=family, seed=seed)
+        trace.accesses = [
+            MemoryAccess(pc=int(pcs[i]), address=int(addrs[i]),
+                         is_write=bool(writes[i]), gap=int(gaps[i]))
+            for i in range(len(pcs))
+        ]
+        return trace
+
+    def content_hash(self) -> str:
+        """SHA-256 over the full access stream plus identifying metadata.
+
+        This is the trace's identity for the persistent result cache: two
+        traces with the same hash produce bit-identical simulations.  The
+        hash is memoised — traces handed to the experiment engine must not
+        be mutated afterwards.
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        digest.update(json.dumps({"name": self.name, "family": self.family,
+                                  "seed": self.seed,
+                                  "length": len(self)}).encode("utf-8"))
+        for array in self.to_arrays():
+            digest.update(array.tobytes())
+        self._content_hash = digest.hexdigest()
+        return self._content_hash
+
     # ------------------------------------------------------------------ I/O
 
     def save_binary(self, path: str | Path) -> None:
         """Write the compact numpy-backed binary format."""
         path = Path(path)
-        pcs = np.fromiter((a.pc for a in self.accesses), dtype=np.uint64, count=len(self))
-        addrs = np.fromiter((a.address for a in self.accesses), dtype=np.uint64, count=len(self))
-        writes = np.fromiter((a.is_write for a in self.accesses), dtype=np.uint8, count=len(self))
-        gaps = np.fromiter((a.gap for a in self.accesses), dtype=np.uint32, count=len(self))
+        pcs, addrs, writes, gaps = self.to_arrays()
         header = json.dumps({"name": self.name, "family": self.family, "seed": self.seed})
         with path.open("wb") as fh:
             fh.write(_BINARY_MAGIC)
@@ -134,13 +182,8 @@ class Trace:
             addrs = np.frombuffer(fh.read(count * 8), dtype=np.uint64)
             writes = np.frombuffer(fh.read(count * 1), dtype=np.uint8)
             gaps = np.frombuffer(fh.read(count * 4), dtype=np.uint32)
-        trace = cls(name=meta["name"], family=meta["family"], seed=meta["seed"])
-        trace.accesses = [
-            MemoryAccess(pc=int(pcs[i]), address=int(addrs[i]),
-                         is_write=bool(writes[i]), gap=int(gaps[i]))
-            for i in range(count)
-        ]
-        return trace
+        return cls.from_arrays(meta["name"], (pcs, addrs, writes, gaps),
+                               family=meta["family"], seed=meta["seed"])
 
     def save_jsonl(self, path: str | Path) -> None:
         """Write a human-inspectable JSONL format (one access per line)."""

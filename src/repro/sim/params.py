@@ -10,7 +10,9 @@ Fig 12b, core count for Fig 13) are plain fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from ..memtrace.access import CACHELINE_BYTES
 
@@ -85,6 +87,22 @@ class SystemConfig:
     def default(cls) -> "SystemConfig":
         """The paper Table IV configuration."""
         return cls()
+
+    def to_dict(self) -> dict:
+        """Every field of every nested params dataclass, as plain data."""
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Stable hash over the *full* configuration.
+
+        Unlike the old ad-hoc baseline cache key (DRAM rate, channels, LLC
+        size only), this covers every knob — L1/L2 geometry, queue sizes,
+        core parameters — so sensitivity sweeps that vary any field can
+        never silently alias onto a stale cached run.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"), default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def with_dram_rate(self, mt_per_sec: int) -> "SystemConfig":
         """Fig 12a knob: swap the DRAM transfer rate."""

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..prefetchers.base import FillLevel
 
@@ -32,6 +32,15 @@ class LevelStats:
         """Useful / (useful + useless); 0 when nothing resolved."""
         total = self.useful_prefetches + self.useless_prefetches
         return self.useful_prefetches / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LevelStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 @dataclass
@@ -81,6 +90,48 @@ class SimResult:
     def accuracy(self, level: str = "l1d") -> float:
         """Prefetch accuracy at one cache level."""
         return self.levels[level].accuracy
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict: enum keys become ints, floats stay exact.
+
+        The persistent result cache and the run manifests both store this
+        form; :meth:`from_dict` must round-trip it bit-identically (floats
+        survive JSON via repr-based encoding).
+        """
+        return {
+            "trace_name": self.trace_name,
+            "prefetcher_name": self.prefetcher_name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "levels": {name: stats.to_dict()
+                       for name, stats in self.levels.items()},
+            "dram_demand_requests": self.dram_demand_requests,
+            "dram_prefetch_requests": self.dram_prefetch_requests,
+            "dram_writeback_requests": self.dram_writeback_requests,
+            "issued_prefetches": {int(level): count for level, count
+                                  in self.issued_prefetches.items()},
+            "dropped_prefetches": self.dropped_prefetches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
+        return cls(
+            trace_name=data["trace_name"],
+            prefetcher_name=data["prefetcher_name"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            levels={name: LevelStats.from_dict(stats)
+                    for name, stats in data["levels"].items()},
+            dram_demand_requests=data["dram_demand_requests"],
+            dram_prefetch_requests=data["dram_prefetch_requests"],
+            dram_writeback_requests=data["dram_writeback_requests"],
+            issued_prefetches={FillLevel(int(level)): count for level, count
+                               in data["issued_prefetches"].items()},
+            dropped_prefetches=data["dropped_prefetches"],
+        )
 
 
 def geomean(values: list[float]) -> float:

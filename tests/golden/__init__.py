@@ -1,0 +1,1 @@
+"""Golden-trace fixtures: pinned simulator outputs for regression tests."""

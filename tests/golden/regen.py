@@ -1,0 +1,55 @@
+"""Regenerate the golden-trace fixture (``golden_stats.json``).
+
+Run from the repo root after an *intentional* simulator or prefetcher
+behaviour change::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+The fixture pins full :meth:`SimResult.to_dict` snapshots (every counter,
+cycles bit-exact through JSON's repr round-trip) plus NIPC to 6 decimals
+for small fixed-seed traces under the no-prefetch baseline, PMP, and SPP.
+``tests/test_golden_traces.py`` fails on any drift, so refactors of
+``sim/engine.py`` or ``prefetchers/pmp.py`` cannot silently change the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "golden_stats.json"
+ACCESSES = 4000
+TRACE_NAMES = ("spec06-00", "ligra-00")
+
+
+def prefetcher_factories():
+    from repro.prefetchers.base import NoPrefetcher
+    from repro.prefetchers.pmp import PMP
+    from repro.prefetchers.spp import SPP
+
+    return {"none": NoPrefetcher, "pmp": PMP, "spp": SPP}
+
+
+def compute() -> dict:
+    from repro.memtrace.workloads import full_suite
+    from repro.sim.engine import simulate
+
+    by_name = {spec.name: spec for spec in full_suite()}
+    golden: dict = {"accesses": ACCESSES, "traces": {}}
+    for trace_name in TRACE_NAMES:
+        trace = by_name[trace_name].build(ACCESSES)
+        runs: dict = {}
+        for pf_name, factory in prefetcher_factories().items():
+            runs[pf_name] = simulate(trace, factory()).to_dict()
+        baseline_ipc = (runs["none"]["instructions"] / runs["none"]["cycles"])
+        for pf_name, data in runs.items():
+            ipc = data["instructions"] / data["cycles"]
+            data["nipc6"] = round(ipc / baseline_ipc, 6)
+        golden["traces"][trace_name] = runs
+    return golden
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(json.dumps(compute(), indent=2, sort_keys=True))
+    print(f"wrote {GOLDEN_PATH}")

@@ -54,3 +54,37 @@ class TestParser:
                      "--trace-cache", cache_dir]) == 0
         import pathlib
         assert list(pathlib.Path(cache_dir).glob("*.pmptrc"))
+
+
+class TestParallelEngineFlags:
+    def test_run_prefix_with_workers_and_cache(self, capsys, tmp_path):
+        argv = ["run", "table9", "--accesses", "2000", "--traces", "1",
+                "--workers", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Table IX" in out
+        assert "manifest:" in out
+        manifests = list((tmp_path / "manifests").glob("table9-*.json"))
+        assert len(manifests) == 1
+
+    def test_warm_cache_rerun_simulates_nothing(self, capsys, tmp_path):
+        import json
+
+        argv = ["table9", "--accesses", "2000", "--traces", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "0 simulated" in capsys.readouterr().out
+        warm = max((tmp_path / "manifests").glob("table9-*.json"))
+        data = json.loads(warm.read_text())
+        assert data["simulated"] == 0
+        assert data["cache_hits"] == data["jobs"] > 0
+
+    def test_no_cache_flag_disables_persistence(self, capsys, tmp_path):
+        argv = ["table11", "--accesses", "2000", "--traces", "1",
+                "--no-cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert not (tmp_path / "results").exists()
+        # The manifest is still written for observability.
+        assert list((tmp_path / "manifests").glob("table11-*.json"))

@@ -1,0 +1,65 @@
+"""Golden-trace regression tests: pinned stats for fixed-seed traces.
+
+The fixture (``tests/golden/golden_stats.json``) pins the complete
+``SimResult`` — hits, misses, issued/useful prefetches per level, DRAM
+traffic, cycles — plus NIPC to 6 decimals, for the no-prefetch baseline,
+PMP, and SPP on two small fixed-seed traces.  Any drift in
+``sim/engine.py``, the cache hierarchy, or ``prefetchers/pmp.py`` fails
+here with the exact counter that moved.  For intentional behaviour
+changes, regenerate with ``PYTHONPATH=src python tests/golden/regen.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.memtrace.workloads import full_suite
+from repro.sim.engine import simulate
+
+from .golden.regen import ACCESSES, GOLDEN_PATH, prefetcher_factories
+
+GOLDEN = json.loads(Path(GOLDEN_PATH).read_text())
+
+
+@pytest.fixture(scope="module")
+def traces():
+    by_name = {spec.name: spec for spec in full_suite()}
+    return {name: by_name[name].build(ACCESSES)
+            for name in GOLDEN["traces"]}
+
+
+@pytest.mark.parametrize("trace_name", sorted(GOLDEN["traces"]))
+@pytest.mark.parametrize("pf_name", sorted(prefetcher_factories()))
+def test_golden_stats_exact(traces, trace_name, pf_name):
+    """Every counter of every run matches the checked-in snapshot."""
+    expected = dict(GOLDEN["traces"][trace_name][pf_name])
+    expected_nipc = expected.pop("nipc6")
+
+    result = simulate(traces[trace_name], prefetcher_factories()[pf_name]())
+    got = result.to_dict()
+    # Round-trip through JSON so int-vs-str dict keys compare like the
+    # fixture (json object keys are always strings).
+    got = json.loads(json.dumps(got))
+
+    assert got == expected, (
+        f"{trace_name}/{pf_name} drifted — if intentional, regenerate via "
+        f"PYTHONPATH=src python tests/golden/regen.py")
+
+    baseline = GOLDEN["traces"][trace_name]["none"]
+    baseline_ipc = baseline["instructions"] / baseline["cycles"]
+    nipc = result.ipc / baseline_ipc
+    assert round(nipc, 6) == expected_nipc
+
+
+def test_golden_fixture_sane():
+    """The fixture itself covers what the test matrix expects."""
+    assert set(GOLDEN["traces"]) == {"spec06-00", "ligra-00"}
+    for runs in GOLDEN["traces"].values():
+        assert set(runs) == {"none", "pmp", "spp"}
+        assert runs["none"]["issued_prefetches"] in ({}, {"1": 0, "2": 0, "3": 0})
+        for data in runs.values():
+            assert data["instructions"] > 0
+            assert data["cycles"] > 0

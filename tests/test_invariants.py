@@ -1,0 +1,135 @@
+"""Property-based simulator invariants over random traces and configs.
+
+Complements ``test_properties.py`` (crash-safety) with the accounting
+identities the metrics depend on:
+
+* demand conservation: ``hits + misses == demand accesses`` at every level;
+* prefetch accounting: every useful/useless event consumes exactly one
+  prefetch fill or late-prefetch hit, and fills never exceed issues;
+* metric ranges: accuracy ∈ [0, 1], coverage ≤ 1;
+* capacity: no cache set ever holds more lines than its associativity.
+
+Serialization round-trips ride along: cached results must reproduce the
+original ``SimResult`` bit-for-bit through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memtrace.access import MemoryAccess
+from repro.memtrace.trace import Trace
+from repro.prefetchers.base import NoPrefetcher
+from repro.prefetchers.pmp import PMP
+from repro.prefetchers.spp import SPP
+from repro.sim.engine import simulate
+from repro.sim.hierarchy import Hierarchy
+from repro.sim.params import SystemConfig
+from repro.sim.stats import SimResult
+
+ADDRESSES = st.integers(min_value=0, max_value=(1 << 28) - 1).map(lambda v: v << 6)
+PCS = st.integers(min_value=0x400000, max_value=0x440000).map(lambda v: v & ~3)
+PREFETCHERS = st.sampled_from([NoPrefetcher, PMP, SPP])
+
+
+@st.composite
+def random_traces(draw, max_len=250):
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    trace = Trace("prop-invariants")
+    trace.extend(MemoryAccess(
+        pc=draw(PCS), address=draw(ADDRESSES),
+        is_write=draw(st.booleans()),
+        gap=draw(st.integers(min_value=0, max_value=50)))
+        for _ in range(length))
+    return trace
+
+
+def small_config() -> SystemConfig:
+    """A tiny hierarchy so random traces actually exercise evictions."""
+    from dataclasses import replace
+    from repro.sim.params import CacheParams
+    base = SystemConfig.default()
+    return replace(
+        base,
+        l1d=CacheParams(size_bytes=4 * 1024, ways=4, hit_latency=5,
+                        mshr_entries=8, pq_entries=8),
+        l2c=CacheParams(size_bytes=16 * 1024, ways=4, hit_latency=10,
+                        mshr_entries=16, pq_entries=16),
+        llc=CacheParams(size_bytes=64 * 1024, ways=8, hit_latency=20,
+                        mshr_entries=32, pq_entries=32))
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_traces(), PREFETCHERS)
+def test_demand_and_prefetch_accounting(trace, factory):
+    result = simulate(trace, factory(), small_config(), warmup_fraction=0.0)
+
+    total_issued = sum(result.issued_prefetches.values())
+    for stats in result.levels.values():
+        assert stats.demand_hits + stats.demand_misses == stats.demand_accesses
+        # Each useful/useless verdict consumes one prefetched-bit fill or
+        # one late (in-flight) prefetch hit — never more than were made.
+        assert (stats.useful_prefetches + stats.useless_prefetches
+                <= stats.prefetch_fills + stats.late_prefetch_hits)
+        assert 0.0 <= stats.accuracy <= 1.0
+
+    assert result.levels["l1d"].demand_accesses == len(trace)
+    fills = sum(s.prefetch_fills for s in result.levels.values())
+    assert fills <= total_issued
+    assert result.dropped_prefetches >= 0
+    assert result.dram_prefetch_requests <= total_issued
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_traces(), PREFETCHERS)
+def test_coverage_and_nipc_ranges(trace, factory):
+    config = small_config()
+    baseline = simulate(trace, NoPrefetcher(), config, warmup_fraction=0.0)
+    result = simulate(trace, factory(), config, warmup_fraction=0.0)
+    for level in ("l1d", "l2c", "llc"):
+        # Coverage can go negative under pollution, but can never exceed
+        # eliminating 100% of the baseline misses.
+        assert result.coverage(baseline, level) <= 1.0
+    assert result.nipc(baseline) > 0
+    assert 0.0 <= result.nmt(baseline)
+
+
+def test_cache_occupancy_never_exceeds_capacity():
+    """Seeded-random loop driving the hierarchy directly: after every
+    access, no set at any level may hold more lines than its ways."""
+    rng = random.Random(1234)
+    config = small_config()
+    hierarchy = Hierarchy.build(config, PMP())
+    caches = (hierarchy.l1d, hierarchy.l2c, hierarchy.llc)
+    cycle = 0.0
+    hot_lines = [rng.randrange(1 << 20) << 6 for _ in range(64)]
+    for step in range(2_000):
+        address = (rng.choice(hot_lines) if rng.random() < 0.6
+                   else rng.randrange(1 << 26) << 6)
+        hierarchy.set_view_cycle(cycle)
+        latency, l1_hit = hierarchy.demand_access(address, cycle,
+                                                  rng.random() < 0.2)
+        for request in hierarchy.prefetcher.on_access(
+                0x400000 + (step % 64) * 4, address, cycle, l1_hit, hierarchy):
+            hierarchy.issue_prefetch(request, cycle)
+        cycle += 1.0 + latency * rng.random()
+        for cache in caches:
+            assert all(len(cache_set) <= cache.ways
+                       for cache_set in cache._sets), cache.name
+    hierarchy.flush_accounting()
+    for cache in caches:
+        assert cache.resident_lines() <= cache.ways * cache.num_sets
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_traces(max_len=120), PREFETCHERS)
+def test_simresult_json_round_trip_is_bit_exact(trace, factory):
+    result = simulate(trace, factory(), small_config(), warmup_fraction=0.0)
+    wire = json.dumps(result.to_dict())
+    restored = SimResult.from_dict(json.loads(wire))
+    assert restored == result
+    assert restored.cycles == result.cycles  # float survives repr round-trip
+    assert restored.issued_prefetches == result.issued_prefetches

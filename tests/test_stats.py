@@ -83,3 +83,37 @@ class TestGeomean:
     def test_scale_equivariance(self, values, scale):
         scaled = geomean([v * scale for v in values])
         assert abs(scaled - geomean(values) * scale) < 1e-6 * max(1.0, scaled)
+
+
+class TestSerialization:
+    def test_level_stats_round_trip(self):
+        stats = LevelStats(demand_accesses=7, demand_hits=4, demand_misses=3,
+                           prefetch_fills=2, useful_prefetches=1,
+                           useless_prefetches=1, late_prefetch_hits=1)
+        assert LevelStats.from_dict(stats.to_dict()) == stats
+
+    def test_sim_result_round_trip_through_json(self):
+        import json
+
+        from repro.prefetchers.base import FillLevel
+
+        result = make_result(dram_prefetch=17, useful=3, useless=2)
+        result.issued_prefetches = {FillLevel.L1D: 5, FillLevel.L2C: 12,
+                                    FillLevel.LLC: 0}
+        result.dropped_prefetches = 4
+        restored = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+        assert isinstance(next(iter(restored.issued_prefetches)), FillLevel)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = json.dumps(make_result().to_dict())
+        assert '"trace_name": "t"' in payload
+
+    def test_fractional_cycles_survive_exactly(self):
+        result = make_result(ipc_cycles=1234.5678901234567)
+        import json
+
+        restored = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.cycles == result.cycles
