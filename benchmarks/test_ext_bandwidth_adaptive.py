@@ -10,7 +10,6 @@ channel is tight.
 
 from repro.experiments.report import format_table
 from repro.prefetchers import PMP, BandwidthAdaptivePMP
-from repro.sim.engine import simulate
 from repro.sim.params import SystemConfig
 from repro.sim.stats import geomean
 

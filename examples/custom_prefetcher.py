@@ -10,7 +10,7 @@ Run:  python examples/custom_prefetcher.py
 """
 
 from repro import PMP, quick_suite
-from repro.memtrace.access import offset_of, region_of
+from repro.memtrace.access import region_of
 from repro.prefetchers import NextLine, Prefetcher, PrefetchRequest
 from repro.prefetchers.base import FillLevel, SystemView
 from repro.prefetchers.sms import PatternCaptureFramework

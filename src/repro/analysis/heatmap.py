@@ -80,6 +80,27 @@ def diagonal_mass(matrix: np.ndarray, band: int = 4) -> float:
     return mass / total
 
 
+def event_heatmap(log: Sequence[tuple[float, str, str, int]],
+                  kind: str | None = None, region_bytes: int = 4096,
+                  rows: int = 64) -> np.ndarray:
+    """Spatial heat map of an :class:`EventTrace` log.
+
+    Rows are 4KB regions (modulo ``rows``), columns are cacheline offsets
+    within the region — the same axes as the Fig 5 pattern maps, so
+    ``render_ascii`` draws both.  ``kind`` filters to one event type
+    (e.g. ``"PrefetchUseless"`` to see where dead prefetches land);
+    ``None`` plots every logged event.
+    """
+    lines_per_region = region_bytes // 64
+    matrix = np.zeros((rows, lines_per_region), dtype=np.int64)
+    for _cycle, event_kind, _component, line in log:
+        if kind is not None and event_kind != kind:
+            continue
+        matrix[(line // lines_per_region) % rows,
+               line % lines_per_region] += 1
+    return matrix
+
+
 _DENSITY = " .:-=+*#%@"
 
 

@@ -50,7 +50,7 @@ from .experiments import (
 from .experiments.sensitivity import sweep_report as sensitivity_report
 from .memtrace.workloads import full_suite, quick_suite
 from .storage import table_v
-from .experiments.report import format_table
+from .experiments.report import event_counter_report, format_table
 
 
 def _specs(args: argparse.Namespace):
@@ -66,7 +66,8 @@ def _runner(args: argparse.Namespace) -> SuiteRunner:
         store = TraceStore(args.trace_cache)
     runner = SuiteRunner(specs=_specs(args), accesses=args.accesses,
                          store=store, workers=args.workers,
-                         cache=args.cache_dir if args.cache else None)
+                         cache=args.cache_dir if args.cache else None,
+                         trace_events=args.trace_events)
     # main() writes one manifest per experiment from the runners it created.
     args.created_runners.append(runner)
     return runner
@@ -236,6 +237,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="persist simulation results across runs")
     parser.add_argument("--cache-dir", default=".repro-cache",
                         help="result cache / manifest directory")
+    parser.add_argument("--trace-events", action="store_true",
+                        help="attach the event-trace observer; prints the "
+                             "per-component event counters and stores them "
+                             "in the run manifest")
     args = parser.parse_args(argv)
 
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
@@ -250,6 +255,9 @@ def main(argv: list[str] | None = None) -> int:
             counters = runner.engine.counters
             print(f"[manifest: {path} — {counters.simulated} simulated, "
                   f"{counters.cache_hits} cache hits]")
+            if args.trace_events and counters.event_totals:
+                print(event_counter_report(counters.event_totals,
+                                           title=f"{name} — event counters"))
         print(f"[{name} took {time.time() - start:.1f}s]\n")
     return 0
 

@@ -31,6 +31,7 @@ import numpy as np
 from ..memtrace.trace import Trace, TraceArrays
 from ..prefetchers.base import Prefetcher
 from ..sim.engine import simulate
+from ..sim.observers import merge_counter_snapshots
 from ..sim.params import SystemConfig
 from ..sim.stats import SimResult
 from .cache import CACHE_VERSION, ResultCache, fingerprint, prefetcher_fingerprint
@@ -44,24 +45,35 @@ class SimJob:
     prefetcher: Prefetcher
     config: SystemConfig
     warmup_fraction: float = 0.2
+    trace_events: bool = False
 
     def key(self) -> str:
-        """Content hash identifying this job's result."""
-        return fingerprint([
+        """Content hash identifying this job's result.
+
+        ``trace_events`` salts the key only when on, so every result
+        cached before the observer existed stays valid for untraced runs
+        (traced results carry extra payload and must not alias them).
+        """
+        parts = [
             CACHE_VERSION,
             self.trace.content_hash(),
             prefetcher_fingerprint(self.prefetcher),
             self.config.fingerprint(),
             repr(self.warmup_fraction),
-        ])
+        ]
+        if self.trace_events:
+            parts.append("trace-events")
+        return fingerprint(parts)
 
 
 def _simulate_payload(name: str, family: str, seed: int, arrays: TraceArrays,
                       prefetcher: Prefetcher, config: SystemConfig,
-                      warmup_fraction: float) -> SimResult:
+                      warmup_fraction: float,
+                      trace_events: bool = False) -> SimResult:
     """Worker entry point: rebuild the trace and run one simulation."""
     trace = Trace.from_arrays(name, arrays, family=family, seed=seed)
-    return simulate(trace, prefetcher, config, warmup_fraction)
+    return simulate(trace, prefetcher, config, warmup_fraction,
+                    trace_events=trace_events)
 
 
 @dataclass
@@ -74,9 +86,13 @@ class EngineCounters:
     simulated: int = 0
     batches: int = 0
     wall_seconds: float = 0.0
+    # Accumulated {event: {component: count}} from jobs that ran with
+    # trace_events on (cache hits included — traced results round-trip
+    # their counters through the cache).
+    event_totals: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "jobs": self.jobs,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -84,6 +100,9 @@ class EngineCounters:
             "batches": self.batches,
             "wall_seconds": self.wall_seconds,
         }
+        if self.event_totals:
+            data["event_counters"] = self.event_totals
+        return data
 
 
 @dataclass
@@ -117,12 +136,18 @@ class ExperimentEngine:
             else:
                 for index, job, _ in pending:
                     results[index] = simulate(job.trace, job.prefetcher,
-                                              job.config, job.warmup_fraction)
+                                              job.config, job.warmup_fraction,
+                                              trace_events=job.trace_events)
             self.counters.simulated += len(pending)
             if self.cache is not None:
                 for index, _, key in pending:
                     if key is not None:
                         self.cache.put(key, results[index])
+
+        for result in results:
+            if result is not None and result.event_counters:
+                merge_counter_snapshots(self.counters.event_totals,
+                                        result.event_counters)
 
         self.counters.jobs += len(jobs)
         self.counters.batches += 1
@@ -148,7 +173,8 @@ class ExperimentEngine:
                     job.trace.seed,
                     (np.asarray(pcs), np.asarray(addrs),
                      np.asarray(writes), np.asarray(gaps)),
-                    job.prefetcher, job.config, job.warmup_fraction)))
+                    job.prefetcher, job.config, job.warmup_fraction,
+                    job.trace_events)))
             for index, job, future in futures:
                 try:
                     results[index] = future.result()
@@ -156,4 +182,5 @@ class ExperimentEngine:
                     retry_inline.append((index, job))
         for index, job in retry_inline:
             results[index] = simulate(job.trace, job.prefetcher,
-                                      job.config, job.warmup_fraction)
+                                      job.config, job.warmup_fraction,
+                                      trace_events=job.trace_events)

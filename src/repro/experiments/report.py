@@ -33,6 +33,21 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def event_counter_report(totals: dict,
+                         title: str = "Event counters") -> str:
+    """Render an ``{event: {component: count}}`` table (EventTrace output).
+
+    Accepts either one run's :meth:`EventTrace.counter_snapshot` or the
+    engine's accumulated ``event_totals`` across a batch.
+    """
+    rows = [(kind, component, count)
+            for kind, per_component in sorted(totals.items())
+            for component, count in sorted(per_component.items())]
+    if not rows:
+        return f"{title}: (no events recorded)"
+    return format_table(["event", "component", "count"], rows, title=title)
+
+
 def format_series(name: str, points: Sequence[tuple[object, float]]) -> str:
     """One figure series as `name: x=y x=y ...`."""
     return f"{name}: " + " ".join(f"{x}={y:.3f}" for x, y in points)

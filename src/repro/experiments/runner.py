@@ -59,6 +59,9 @@ class SuiteRunner:
     store: TraceStore | None = None
     workers: int = 0
     cache: ResultCache | str | Path | None = None
+    # Attach the opt-in EventTrace observer to every simulation; the
+    # per-component counter totals land in the run manifest.
+    trace_events: bool = False
 
     def __post_init__(self) -> None:
         self._traces: list[Trace] | None = None
@@ -87,7 +90,8 @@ class SuiteRunner:
     def _jobs(self, factory: PrefetcherFactory,
               config: SystemConfig) -> list[SimJob]:
         """One fresh-prefetcher job per trace, in suite order."""
-        return [SimJob(trace, factory(), config, self.warmup_fraction)
+        return [SimJob(trace, factory(), config, self.warmup_fraction,
+                       trace_events=self.trace_events)
                 for trace in self.traces]
 
     def baselines(self, config: SystemConfig | None = None) -> list[SimResult]:
@@ -221,9 +225,19 @@ class SuiteRunner:
             simulated=counters.simulated,
             wall_seconds=counters.wall_seconds,
             cache_dir=cache_dir,
-            extra={"batches": counters.batches,
-                   "warmup_fraction": self.warmup_fraction},
+            extra=self._manifest_extra(counters),
         )
+
+    def _manifest_extra(self, counters) -> dict:
+        """The manifest's free-form section (event counters when traced)."""
+        extra = {"batches": counters.batches,
+                 "warmup_fraction": self.warmup_fraction}
+        if counters.event_totals:
+            extra["event_counters"] = {
+                kind: dict(per_component)
+                for kind, per_component in sorted(
+                    counters.event_totals.items())}
+        return extra
 
     def write_manifest(self, experiment: str,
                        directory: str | Path = ".repro-cache/manifests") -> Path:

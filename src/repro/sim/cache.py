@@ -1,17 +1,20 @@
-"""Set-associative cache with LRU, prefetch bits, MSHRs, prefetch queues
-and *deferred fills*.
+"""Set-associative cache storage: LRU, prefetch bits, MSHRs, prefetch
+queues and *deferred fills*.
 
 A miss (demand or prefetch) does not insert its line immediately: the fill
-is scheduled on a pending heap and applied — evicting its victim — only
-when the data actually arrives (``ready_cycle``).  Demands that touch the
-line while the fill is in flight merge with it through the MSHR rather
-than re-requesting memory.  Applying fills lazily keeps eviction timing
-honest: a prefetch issued 200 cycles early must not shrink the cache for
-those 200 cycles.
+is scheduled on a pending :class:`FillQueue` and applied — evicting its
+victim — only when the data actually arrives (``ready_cycle``).  Demands
+that touch the line while the fill is in flight merge with it through the
+MSHR rather than re-requesting memory.  Applying fills lazily keeps
+eviction timing honest: a prefetch issued 200 cycles early must not
+shrink the cache for those 200 cycles.
 
-Useful/useless accounting (Fig 9/10): a demand hit on a line whose
-``prefetched`` bit is set makes the prefetch *useful* (bit cleared);
-evicting a line with the bit still set makes it *useless*.
+This module is pure mechanics.  A :class:`Cache` mutates arrays, reports
+what happened (hit/miss, victim chosen, prefetched bit consumed) and owns
+a passive :class:`CacheStats` counter block — but it never *accounts*:
+all counter updates and prefetcher feedback flow through typed events
+published by the owning :class:`~repro.sim.level.CacheLevel` component
+and applied by bus subscribers (see :mod:`repro.sim.observers`).
 """
 
 from __future__ import annotations
@@ -41,13 +44,79 @@ class PendingFill:
     prefetched: bool
     is_write: bool
 
-    def __lt__(self, other: "PendingFill") -> bool:
-        return self.ready < other.ready
+
+class FillQueue:
+    """Pending fills ordered by readiness, with a per-line index.
+
+    The index makes "find the in-flight fill for line X" O(1) — the demand
+    merge path strips the ``prefetched`` flag of a caught-up prefetch fill
+    without scanning the whole queue (the old implementation walked every
+    pending entry).
+
+    Heap entries are ``(ready, seq, fill)`` tuples: the float/int prefix
+    keeps every heap comparison in C (no per-sift Python ``__lt__``), and
+    the monotonic ``seq`` makes same-cycle fills pop in insertion order.
+    """
+
+    __slots__ = ("_heap", "_by_line", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, PendingFill]] = []
+        self._by_line: dict[int, list[PendingFill]] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, fill: PendingFill) -> None:
+        """Queue one fill."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (fill.ready, seq, fill))
+        bucket = self._by_line.get(fill.line)
+        if bucket is None:
+            self._by_line[fill.line] = [fill]
+        else:
+            bucket.append(fill)
+
+    def has_ready(self, cycle: float) -> bool:
+        """True when at least one fill's data has arrived by ``cycle``.
+
+        Allocation-free peek for the per-access sync fast path (most
+        syncs find nothing to apply).
+        """
+        heap = self._heap
+        return bool(heap) and heap[0][0] <= cycle
+
+    def pop_ready(self, cycle: float) -> list[PendingFill]:
+        """Remove and return every fill whose data has arrived by ``cycle``."""
+        out: list[PendingFill] = []
+        heap = self._heap
+        by_line = self._by_line
+        while heap and heap[0][0] <= cycle:
+            fill = heapq.heappop(heap)[2]
+            bucket = by_line[fill.line]
+            if len(bucket) == 1:
+                del by_line[fill.line]
+            else:
+                bucket.remove(fill)
+            out.append(fill)
+        return out
+
+    def strip_prefetch_flag(self, line: int) -> None:
+        """Demote in-flight fills of ``line`` to demand fills (O(1) lookup)."""
+        for fill in self._by_line.get(line, ()):
+            fill.prefetched = False
 
 
 @dataclass
 class CacheStats:
-    """Per-level counters for the Fig 9 / Fig 10 metrics."""
+    """Per-level counters for the Fig 9 / Fig 10 metrics.
+
+    Owned by the storage (so shared-LLC counters are naturally shared
+    across cores) but mutated only by the stats observer subscribed to
+    the hierarchy's event bus.
+    """
 
     demand_accesses: int = 0
     demand_hits: int = 0
@@ -70,7 +139,7 @@ class CacheStats:
 
 
 class Cache:
-    """One set-associative level. Addresses are cacheline-granular ints."""
+    """One set-associative level's storage. Addresses are cacheline ints."""
 
     def __init__(self, params: CacheParams, name: str = "cache") -> None:
         self.params = params
@@ -82,8 +151,13 @@ class Cache:
         self.stats = CacheStats()
         # Outstanding misses: line -> (completion cycle, is_prefetch).
         self._mshr: dict[int, tuple[float, bool]] = {}
+        self._mshr_capacity = params.mshr_entries
+        # Lower bound on the earliest outstanding completion; lets prune
+        # skip its scan when no entry can possibly have completed.  May go
+        # stale-low after a release (costing one wasted scan), never high.
+        self._mshr_min = float("inf")
         # Fills whose data has not arrived yet, ordered by readiness.
-        self.pending: list[PendingFill] = []
+        self.fills = FillQueue()
         # In-flight prefetch-queue occupancy (entries free at issue time).
         self._pq: list[float] = []
 
@@ -93,90 +167,86 @@ class Cache:
         return self._sets[line % self.num_sets]
 
     def contains(self, line: int) -> bool:
-        """Presence check with no LRU or stats side effects."""
+        """Presence check with no LRU side effects."""
         return line in self._set_for(line)
 
     def probe(self, line: int) -> CacheLine | None:
-        """Peek at a resident line without touching LRU or stats."""
+        """Peek at a resident line without touching LRU."""
         return self._set_for(line).get(line)
 
-    def lookup(self, line: int, cycle: float, is_write: bool = False) -> bool:
+    def access(self, line: int, cycle: float,
+               is_write: bool = False) -> tuple[bool, bool]:
         """Demand lookup (resident lines only — callers sync pending fills
-        first and handle in-flight merges through the MSHR).  Returns hit.
+        first and handle in-flight merges through the MSHR).
+
+        Returns ``(hit, used_prefetch)``: ``used_prefetch`` is True when
+        the hit consumed a still-set prefetched bit (the bit is cleared,
+        so a prefetch resolves useful exactly once).
         """
-        cache_set = self._set_for(line)
-        self.stats.demand_accesses += 1
+        cache_set = self._sets[line % self.num_sets]
         entry = cache_set.get(line)
         if entry is None:
-            self.stats.demand_misses += 1
-            return False
-        self.stats.demand_hits += 1
+            return False, False
         cache_set.move_to_end(line)
         if is_write:
             entry.dirty = True
         if entry.prefetched:
             entry.prefetched = False
-            self.stats.useful_prefetches += 1
-        return True
+            return True, True
+        return True, False
 
     def fill_now(self, line: int, cycle: float, *, prefetched: bool = False,
-                 is_write: bool = False) -> tuple[int | None, CacheLine | None]:
+                 is_write: bool = False,
+                 ) -> tuple[bool, int | None, CacheLine | None]:
         """Apply a fill immediately (data is here).
 
-        Returns ``(victim_line, victim_state)`` — both ``None`` when no
-        eviction happened.
+        Returns ``(inserted, victim, victim_entry)``.  A refill of a
+        resident line only refreshes recency (and never re-marks a
+        demand-fetched line as a prefetch): ``inserted`` is False and no
+        victim is chosen.  A plain tuple, not a result object — this is
+        the hottest allocation site in a miss-heavy run.
         """
-        cache_set = self._set_for(line)
+        cache_set = self._sets[line % self.num_sets]
         existing = cache_set.get(line)
         if existing is not None:
-            # Refill of a resident line: refresh recency, never re-mark a
-            # demand-fetched line as a prefetch.
             cache_set.move_to_end(line)
-            return None, None
+            return False, None, None
         victim = None
         victim_entry = None
         if len(cache_set) >= self.ways:
             victim, victim_entry = cache_set.popitem(last=False)
-            self.stats.evictions += 1
-            if victim_entry.prefetched:
-                self.stats.useless_prefetches += 1
         cache_set[line] = CacheLine(ready_cycle=cycle,
                                     prefetched=prefetched, dirty=is_write)
-        if prefetched:
-            self.stats.prefetch_fills += 1
-        return victim, victim_entry
+        return True, victim, victim_entry
 
     def schedule_fill(self, line: int, ready: float, *, prefetched: bool = False,
                       is_write: bool = False) -> None:
         """Queue a fill to be applied when its data arrives."""
-        heapq.heappush(self.pending, PendingFill(
+        self.fills.push(PendingFill(
             ready=ready, line=line, prefetched=prefetched, is_write=is_write))
 
     def pop_ready_fills(self, cycle: float) -> list[PendingFill]:
         """Remove and return every pending fill whose data has arrived."""
-        out: list[PendingFill] = []
-        pending = self.pending
-        while pending and pending[0].ready <= cycle:
-            out.append(heapq.heappop(pending))
-        return out
+        return self.fills.pop_ready(cycle)
 
-    def invalidate(self, line: int) -> bool:
-        """Back-invalidation (inclusive LLC eviction). Returns True if present."""
-        cache_set = self._set_for(line)
-        entry = cache_set.pop(line, None)
-        if entry is None:
-            return False
-        if entry.prefetched:
-            self.stats.useless_prefetches += 1
-        return True
+    def invalidate(self, line: int) -> CacheLine | None:
+        """Remove a line (inclusive back-invalidation).  Returns the
+        evicted entry when it was present, else None."""
+        return self._set_for(line).pop(line, None)
 
-    def flush_prefetch_accounting(self) -> None:
-        """End-of-run: resident never-used prefetched lines count as useless."""
+    def strip_prefetched(self) -> list[int]:
+        """Clear every resident prefetched bit; returns the lines cleared.
+
+        End-of-run accounting: resident never-used prefetched lines
+        resolve as useless (the caller publishes the events).
+        """
+        stripped: list[int] = []
         for cache_set in self._sets:
-            for entry in cache_set.values():
+            for line, entry in cache_set.items():
                 if entry.prefetched:
                     entry.prefetched = False
-                    self.stats.useless_prefetches += 1
+                    stripped.append(line)
+        return stripped
 
     def resident_lines(self) -> int:
         """Number of lines currently resident."""
@@ -202,16 +272,37 @@ class Cache:
         if now is not None:
             self.mshr_prune(now)
         self._mshr[line] = (completion, is_prefetch)
+        if completion < self._mshr_min:
+            self._mshr_min = completion
 
     def mshr_release(self, line: int) -> None:
         """Drop the MSHR entry for `line`, if any."""
-        self._mshr.pop(line, None)
+        mshr = self._mshr
+        mshr.pop(line, None)
+        if not mshr:
+            # Re-tighten the lower bound: without this, a stale-low
+            # bound forces every later prune through a full (empty) scan.
+            self._mshr_min = float("inf")
 
     def mshr_prune(self, cycle: float) -> None:
         """Drop MSHR entries whose fills have completed."""
-        done = [line for line, (when, _) in self._mshr.items() if when <= cycle]
-        for line in done:
-            del self._mshr[line]
+        if cycle < self._mshr_min:
+            return
+        mshr = self._mshr
+        done = None
+        new_min = float("inf")
+        for line, (when, _) in mshr.items():
+            if when <= cycle:
+                if done is None:
+                    done = [line]
+                else:
+                    done.append(line)
+            elif when < new_min:
+                new_min = when
+        if done is not None:
+            for line in done:
+                del mshr[line]
+        self._mshr_min = new_min
 
     def mshr_release_completed(self, up_to: float) -> None:
         """Drop every entry completed at or before `up_to`."""
@@ -224,7 +315,7 @@ class Cache:
     def mshr_free(self, cycle: float) -> int:
         """Free MSHR slots at `cycle` (prunes completed entries)."""
         self.mshr_prune(cycle)
-        return self.params.mshr_entries - len(self._mshr)
+        return self._mshr_capacity - len(self._mshr)
 
     def mshr_has_room_for_prefetch(self, cycle: float) -> bool:
         """Prefetches may not take the last MSHR (paper Section IV-B)."""

@@ -16,6 +16,7 @@ from ..memtrace.trace import Trace
 from ..prefetchers.base import NoPrefetcher, Prefetcher
 from .core import Core
 from .hierarchy import Hierarchy
+from .observers import EventTrace
 from .params import SystemConfig
 from .stats import SimResult, snapshot_level
 
@@ -24,14 +25,23 @@ PrefetcherFactory = Callable[[], Prefetcher]
 
 def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
              config: SystemConfig | None = None,
-             warmup_fraction: float = 0.2) -> SimResult:
-    """Run one trace through one prefetcher; returns the measured stats."""
+             warmup_fraction: float = 0.2,
+             trace_events: bool = False) -> SimResult:
+    """Run one trace through one prefetcher; returns the measured stats.
+
+    ``trace_events=True`` attaches the opt-in :class:`EventTrace`
+    observer to the hierarchy's bus; its per-component counter snapshot
+    lands in ``SimResult.event_counters`` (and, via the experiment
+    engine, in run manifests).  When off, the observer is never
+    subscribed and the bus costs one dict probe per event type.
+    """
     if prefetcher is None:
         prefetcher = NoPrefetcher()
     if config is None:
         config = SystemConfig.default()
 
     hierarchy = Hierarchy.build(config, prefetcher)
+    tracer = EventTrace(hierarchy.bus) if trace_events else None
     core = Core(config.core)
     warmup_end = int(len(trace) * warmup_fraction)
     measured_start_instr = 0
@@ -40,6 +50,8 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     for index, access in enumerate(trace.accesses):
         if index == warmup_end:
             hierarchy.reset_stats()
+            if tracer is not None:
+                tracer.reset()
             measured_start_instr = core.instructions
             measured_start_cycle = core.cycle
 
@@ -74,6 +86,7 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
         dram_writeback_requests=hierarchy.dram.stats.writeback_requests,
         issued_prefetches=dict(hierarchy.issued_prefetches),
         dropped_prefetches=hierarchy.dropped_prefetches,
+        event_counters=tracer.counter_snapshot() if tracer is not None else None,
     )
 
 

@@ -1,23 +1,44 @@
-"""Three-level inclusive cache hierarchy with deferred multi-level fills.
+"""Event-driven memory-system kernel: ported cache levels, one descent loop.
 
-Misses and prefetches schedule their fills for the cycle the data arrives;
-the hierarchy *syncs* each cache (applies arrived fills, evicting victims
-at the honest time) before serving an access.  Demands that touch a line
-whose fill is still in flight merge with it through the MSHR — with their
-wait capped at a demand-priority refetch, because real memory controllers
-promote a demand that matches an in-flight prefetch.
+The hierarchy is a chain of :class:`~repro.sim.level.CacheLevel`
+components (L1D → L2C → LLC, each owning its storage, MSHRs, PQ and fill
+queue) ending at the DRAM port.  Demands and prefetches are both carried
+by a :class:`~repro.sim.level.MemTransaction` that descends the chain in
+a single loop — the per-level lookup/merge/fill logic lives once, in the
+components, instead of three copy-pasted blocks.
+
+Misses and prefetches schedule their fills for the cycle the data
+arrives; the kernel *syncs* each level (applies arrived fills, evicting
+victims at the honest time) before serving an access.  Demands that touch
+a line whose fill is still in flight merge with it through the MSHR —
+with their wait capped at a demand-priority refetch, because real memory
+controllers promote a demand that matches an in-flight prefetch.
 
 The LLC is inclusive (Table IV): evicting an LLC line back-invalidates it
 from every registered private L1D/L2C, which is also how useless shared
 prefetches propagate in the 4-core runs.
+
+All side-channel notifications — prefetch useful/useless/fill, evictions,
+back-invalidations, writebacks, admission drops — are typed events on the
+kernel's :class:`~repro.sim.events.EventBus`; stats counters, prefetcher
+feedback and the opt-in trace observer are subscribers
+(:mod:`repro.sim.observers`), not hard-wired calls.
 """
 
 from __future__ import annotations
 
 from ..memtrace.access import CACHELINE_BITS
 from ..prefetchers.base import FillLevel, PrefetchRequest, Prefetcher
-from .cache import Cache
+from .cache import Cache, CacheLine
 from .dram import Dram
+from .events import EventBus, PrefetchDropped, PrefetchIssued
+from .level import CacheLevel, MemTransaction, PREFETCH
+from .observers import (
+    LevelStatsObserver,
+    PrefetchAccounting,
+    PrefetcherBridge,
+    snapshot_levels,
+)
 from .params import SystemConfig
 
 
@@ -32,17 +53,29 @@ class SharedLLC:
         """Track private caches for inclusive back-invalidation."""
         self._private.extend(caches)
 
-    def back_invalidate(self, line: int) -> None:
-        """Remove an evicted LLC line from every private cache."""
+    def back_invalidate(self, line: int) -> list[tuple[Cache, CacheLine]]:
+        """Remove an evicted LLC line from every private cache.
+
+        Returns the ``(cache, evicted_entry)`` pairs that actually held
+        the line, so the evicting level can publish one
+        :class:`~repro.sim.events.BackInvalidation` per copy removed.
+        """
+        removed: list[tuple[Cache, CacheLine]] = []
         for cache in self._private:
-            cache.invalidate(line)
+            entry = cache.invalidate(line)
+            if entry is not None:
+                removed.append((cache, entry))
+        return removed
 
 
 class Hierarchy:
     """One core's view of the memory system (L1D/L2C private, LLC/DRAM shared).
 
     For single-core runs construct with :meth:`build`; multi-core runs
-    share one :class:`SharedLLC` and one :class:`Dram` across hierarchies.
+    share one :class:`SharedLLC` and one :class:`Dram` across hierarchies
+    (each core keeps its own bus, observers and private levels — LLC
+    events are published on the bus of the core whose access caused them,
+    which is also whose prefetcher hears the feedback).
     """
 
     def __init__(self, config: SystemConfig, prefetcher: Prefetcher,
@@ -50,15 +83,35 @@ class Hierarchy:
         self.config = config
         self.prefetcher = prefetcher
         self.core_id = core_id
-        self.l1d = Cache(config.l1d, name=f"L1D{core_id}")
-        self.l2c = Cache(config.l2c, name=f"L2C{core_id}")
         self.shared_llc = shared_llc
-        self.llc = shared_llc.cache
         self.dram = dram
+        self.bus = EventBus()
+        self._view_cycle = 0.0
+
+        llc_level = CacheLevel(FillLevel.LLC, shared_llc.cache, self.bus,
+                               dram, below=None, shared=shared_llc)
+        l2c_level = CacheLevel(FillLevel.L2C,
+                               Cache(config.l2c, name=f"L2C{core_id}"),
+                               self.bus, dram, below=llc_level)
+        l1d_level = CacheLevel(FillLevel.L1D,
+                               Cache(config.l1d, name=f"L1D{core_id}"),
+                               self.bus, dram, below=l2c_level)
+        # Descent order: closest to the core first.
+        self.levels: tuple[CacheLevel, ...] = (l1d_level, l2c_level, llc_level)
+        # Fill-sync order: LLC first, so inclusive back-invalidations
+        # precede private-level fills (prebuilt — `_sync` runs per access).
+        self._sync_order: tuple[CacheLevel, ...] = (llc_level, l2c_level,
+                                                    l1d_level)
+        self.l1d = l1d_level.storage
+        self.l2c = l2c_level.storage
+        self.llc = llc_level.storage
         shared_llc.register(self.l1d, self.l2c)
-        self.issued_prefetches = {level: 0 for level in FillLevel}
-        self.dropped_prefetches = 0
-        self.drop_reasons = {"resident": 0, "pq_full": 0, "mshr_full": 0}
+
+        # Always-on subscribers: counters and prefetcher feedback.
+        self.stats_observer = LevelStatsObserver(self.bus,
+                                                 snapshot_levels(self.levels))
+        self.prefetch_accounting = PrefetchAccounting(self.bus)
+        self.prefetcher_bridge = PrefetcherBridge(self.bus, prefetcher)
 
     @classmethod
     def build(cls, config: SystemConfig, prefetcher: Prefetcher) -> "Hierarchy":
@@ -66,60 +119,41 @@ class Hierarchy:
         shared = SharedLLC(Cache(config.llc, name="LLC"))
         return cls(config, prefetcher, shared, Dram(config.dram))
 
+    def level_for(self, level: FillLevel) -> CacheLevel:
+        """The component serving one :class:`FillLevel`."""
+        return self.levels[level - FillLevel.L1D]
+
+    # -------------------------------------------------- prefetch accounting
+
+    @property
+    def issued_prefetches(self) -> dict[FillLevel, int]:
+        """Accepted prefetches per target level."""
+        return self.prefetch_accounting.issued_prefetches
+
+    @property
+    def dropped_prefetches(self) -> int:
+        """Total rejected prefetches (all reasons)."""
+        return self.prefetch_accounting.dropped_prefetches
+
+    @property
+    def drop_reasons(self) -> dict[str, int]:
+        """Rejected prefetches by admission-check reason."""
+        return self.prefetch_accounting.drop_reasons
+
     # ------------------------------------------------------------------ sync
 
     def _sync(self, cycle: float) -> None:
-        """Apply every fill whose data has arrived by `cycle`."""
-        for fill in self.llc.pop_ready_fills(cycle):
-            self.llc.mshr_release(fill.line)
-            self._apply_llc_fill(fill.line, fill.ready, fill.prefetched)
-        for cache in (self.l2c, self.l1d):
-            for fill in cache.pop_ready_fills(cycle):
-                cache.mshr_release(fill.line)
-                self._apply_private_fill(cache, fill.line, fill.ready,
-                                         fill.prefetched, fill.is_write)
+        """Apply every fill whose data has arrived by `cycle` (LLC first,
+        so inclusive back-invalidations precede private-level fills).
 
-    def _apply_private_fill(self, cache: Cache, line: int, cycle: float,
-                            prefetched: bool, is_write: bool) -> None:
-        victim, victim_entry = cache.fill_now(line, cycle, prefetched=prefetched,
-                                              is_write=is_write)
-        if victim is None:
-            return
-        if cache is self.l1d:
-            self.prefetcher.on_evict(victim << CACHELINE_BITS)
-        if victim_entry is not None and victim_entry.prefetched:
-            level = FillLevel.L1D if cache is self.l1d else FillLevel.L2C
-            self.prefetcher.on_prefetch_useless(victim << CACHELINE_BITS, level)
-        if victim_entry is not None and victim_entry.dirty:
-            # Dirty victims drain towards memory: L1 -> L2, L2 -> LLC.
-            below = self.l2c if cache is self.l1d else self.llc
-            below_entry = below.probe(victim)
-            if below_entry is not None:
-                below_entry.dirty = True
-            else:
-                self.dram.writeback(victim, cycle)
-
-    def _apply_llc_fill(self, line: int, cycle: float, prefetched: bool) -> None:
-        victim, victim_entry = self.llc.fill_now(line, cycle, prefetched=prefetched)
-        if victim is not None:
-            self.shared_llc.back_invalidate(victim)
-            if victim_entry is not None and victim_entry.prefetched:
-                self.prefetcher.on_prefetch_useless(victim << CACHELINE_BITS,
-                                                    FillLevel.LLC)
-            if victim_entry is not None and victim_entry.dirty:
-                self.dram.writeback(victim, cycle)
-
-    def _fill(self, cache: Cache, line: int, ready: float, cycle: float, *,
-              prefetched: bool = False, is_write: bool = False) -> None:
-        """Apply now if the data is already here, otherwise defer."""
-        if ready <= cycle:
-            if cache is self.llc:
-                self._apply_llc_fill(line, cycle, prefetched)
-            else:
-                self._apply_private_fill(cache, line, cycle, prefetched, is_write)
-        else:
-            cache.schedule_fill(line, ready, prefetched=prefetched,
-                                is_write=is_write)
+        Peeks each level's fill heap directly: this runs per demand
+        access and almost always finds nothing ready, so the common case
+        must not cost a method call per level.
+        """
+        for level in self._sync_order:
+            heap = level.storage.fills._heap
+            if heap and heap[0][0] <= cycle:
+                level.sync(cycle)
 
     # ----------------------------------------------------------- demand path
 
@@ -133,87 +167,49 @@ class Hierarchy:
         cap = self.dram.latency + 2 * self.dram.service_cycles
         return min(wait, cap)
 
-    def _merge_wait(self, cache: Cache, line: int, cycle: float,
-                    level: FillLevel, address: int) -> float | None:
-        """Wait for an in-flight miss on this line at one level, if any."""
-        pending = cache.mshr_pending(line)
-        if pending is None:
-            return None
-        if cache.mshr_is_prefetch(line):
-            # Late prefetch caught by a demand: useful, but tardy.
-            cache.stats.useful_prefetches += 1
-            cache.stats.late_prefetch_hits += 1
-            self.prefetcher.on_prefetch_useful(address, level)
-            # The arriving fill must not be double-counted as useful later.
-            cache.mshr_allocate(line, pending, is_prefetch=False)
-            self._strip_pending_prefetch_flag(cache, line)
-        return self._promote_wait(max(0.0, pending - cycle))
+    def _backfill(self, txn: MemTransaction, depth: int, ready: float,
+                  cycle: float) -> None:
+        """Fill every level above `depth` with the line found there.
 
-    def _strip_pending_prefetch_flag(self, cache: Cache, line: int) -> None:
-        for fill in cache.pending:
-            if fill.line == line:
-                fill.prefetched = False
+        Runs bottom-up (L2C before L1D on an LLC hit); only the L1D copy
+        carries the demand's write intent.
+        """
+        if depth == 0:
+            return
+        for level in self.levels[:depth][::-1]:
+            level.fill(txn.line, ready, cycle,
+                       is_write=txn.is_write and level is self.levels[0])
 
     def demand_access(self, address: int, cycle: float,
                       is_write: bool = False) -> tuple[float, bool]:
         """Serve one demand access. Returns (total latency, L1D hit)."""
         self._sync(cycle)
-        line = address >> CACHELINE_BITS
-        l1_entry = self.l1d.probe(line)
-        l1_was_prefetched = l1_entry is not None and l1_entry.prefetched
-        if self.l1d.lookup(line, cycle, is_write):
-            if l1_was_prefetched:
-                self.prefetcher.on_prefetch_useful(address, FillLevel.L1D)
-            return float(self.config.l1d.hit_latency), True
+        txn = MemTransaction(address=address, line=address >> CACHELINE_BITS,
+                             is_write=is_write, issue_cycle=cycle)
 
-        latency = float(self.config.l1d.hit_latency)
-        merge = self._merge_wait(self.l1d, line, cycle, FillLevel.L1D, address)
-        if merge is not None:
-            return latency + merge, False
-        latency += self._mshr_stall(self.l1d, cycle)
+        for depth, level in enumerate(self.levels):
+            if level.lookup(txn, cycle + txn.latency):
+                txn.latency += level.hit_latency
+                self._backfill(txn, depth, cycle + txn.latency, cycle)
+                return txn.latency, depth == 0
+            txn.latency += level.hit_latency
+            pending = level.merge_pending(txn, cycle)
+            if pending is not None:
+                merge = self._promote_wait(max(0.0, pending - cycle))
+                self._backfill(txn, depth, cycle + txn.latency + merge, cycle)
+                return txn.latency + merge, False
+            if depth == 0:
+                # The core blocks only on L1 MSHR availability; the lower
+                # levels admit the descending miss with the L1 slot held.
+                txn.latency += self._mshr_stall(level.storage, cycle)
 
-        l2_entry = self.l2c.probe(line)
-        l2_was_prefetched = l2_entry is not None and l2_entry.prefetched
-        if self.l2c.lookup(line, cycle + latency, is_write):
-            if l2_was_prefetched:
-                self.prefetcher.on_prefetch_useful(address, FillLevel.L2C)
-            latency += self.config.l2c.hit_latency
-            self._fill(self.l1d, line, cycle + latency, cycle, is_write=is_write)
-            return latency, False
-
-        latency += self.config.l2c.hit_latency
-        merge = self._merge_wait(self.l2c, line, cycle, FillLevel.L2C, address)
-        if merge is not None:
-            ready = cycle + latency + merge
-            self._fill(self.l1d, line, ready, cycle, is_write=is_write)
-            return latency + merge, False
-
-        llc_entry = self.llc.probe(line)
-        llc_was_prefetched = llc_entry is not None and llc_entry.prefetched
-        if self.llc.lookup(line, cycle + latency, is_write):
-            if llc_was_prefetched:
-                self.prefetcher.on_prefetch_useful(address, FillLevel.LLC)
-            latency += self.config.llc.hit_latency
-            ready = cycle + latency
-            self._fill(self.l2c, line, ready, cycle)
-            self._fill(self.l1d, line, ready, cycle, is_write=is_write)
-            return latency, False
-
-        latency += self.config.llc.hit_latency
-        merge = self._merge_wait(self.llc, line, cycle, FillLevel.LLC, address)
-        if merge is not None:
-            ready = cycle + latency + merge
-            self._fill(self.l2c, line, ready, cycle)
-            self._fill(self.l1d, line, ready, cycle, is_write=is_write)
-            return latency + merge, False
-
-        completion = self.dram.request(line, cycle + latency)
-        self.l1d.mshr_allocate(line, completion, now=cycle)
-        self.l2c.mshr_allocate(line, completion, now=cycle)
-        self.llc.mshr_allocate(line, completion, now=cycle)
-        self.llc.schedule_fill(line, completion)
-        self.l2c.schedule_fill(line, completion)
-        self.l1d.schedule_fill(line, completion, is_write=is_write)
+        completion = self.dram.request(txn.line, cycle + txn.latency)
+        for level in self.levels:
+            level.storage.mshr_allocate(txn.line, completion, now=cycle)
+        for level in reversed(self.levels):
+            level.storage.schedule_fill(
+                txn.line, completion,
+                is_write=is_write and level is self.levels[0])
         return completion - cycle, False
 
     def _mshr_stall(self, cache: Cache, cycle: float) -> float:
@@ -233,91 +229,84 @@ class Hierarchy:
         """Try to issue one prefetch; returns True if it was accepted.
 
         Rejections (already resident or in flight close enough, PQ full,
-        no spare MSHR) mirror the hardware conditions the paper describes.
+        no spare MSHR) mirror the hardware conditions the paper describes;
+        each publishes a :class:`PrefetchDropped` with its reason.
         """
         self._sync(cycle)
-        line = request.address >> CACHELINE_BITS
-        level = request.level
-        target = {FillLevel.L1D: self.l1d, FillLevel.L2C: self.l2c,
-                  FillLevel.LLC: self.llc}[level]
+        txn = MemTransaction(address=request.address,
+                             line=request.address >> CACHELINE_BITS,
+                             origin=PREFETCH, target=request.level,
+                             issue_cycle=cycle)
+        depth = request.level - FillLevel.L1D
+        target = self.levels[depth]
 
-        if self._already_close_enough(line, level):
-            self.drop_reasons["resident"] += 1
-            return False
-        if target.pq_free(cycle) <= 0:
-            self.dropped_prefetches += 1
-            self.drop_reasons["pq_full"] += 1
-            return False
-        if not target.mshr_has_room_for_prefetch(cycle):
-            self.dropped_prefetches += 1
-            self.drop_reasons["mshr_full"] += 1
+        reason = self._admission_reject(txn, target, depth, cycle)
+        if reason is not None:
+            self.bus.publish(PrefetchDropped(request.level, txn.line,
+                                             reason, cycle))
             return False
 
-        if self.llc.contains(line) and level != FillLevel.LLC:
-            # On-chip move: promote from LLC without DRAM traffic.
-            ready = cycle + self.config.llc.hit_latency
+        llc = self.levels[-1]
+        if llc.storage.contains(txn.line) and target is not llc:
+            # On-chip move: promote from the LLC without DRAM traffic.
+            ready = cycle + llc.hit_latency
         else:
-            llc_pending = self.llc.mshr_pending(line)
+            llc_pending = llc.storage.mshr_pending(txn.line)
             if llc_pending is not None:
                 # Piggy-back on the fetch already in flight.
                 ready = llc_pending
             else:
-                arrival = cycle + self.config.llc.hit_latency
-                ready = self.dram.request(line, arrival, is_prefetch=True)
-            target.mshr_allocate(line, ready, now=cycle, is_prefetch=True)
+                arrival = cycle + llc.hit_latency
+                ready = self.dram.request(txn.line, arrival, is_prefetch=True)
+            target.storage.mshr_allocate(txn.line, ready, now=cycle,
+                                         is_prefetch=True)
 
-        if level == FillLevel.L1D:
-            self._fill(self.l1d, line, ready, cycle, prefetched=True)
-            self._fill(self.l2c, line, ready, cycle)
-            self._fill_llc_if_absent(line, ready, cycle)
-        elif level == FillLevel.L2C:
-            self._fill(self.l2c, line, ready, cycle, prefetched=True)
-            self._fill_llc_if_absent(line, ready, cycle)
-        else:
-            self._fill(self.llc, line, ready, cycle, prefetched=True)
+        # The target level gets the prefetched bit; every level below it
+        # is filled too (inclusive path), the LLC only when absent.
+        for level in self.levels[depth:]:
+            if level is llc and level is not target:
+                if not llc.storage.contains(txn.line):
+                    level.fill(txn.line, ready, cycle)
+            else:
+                level.fill(txn.line, ready, cycle,
+                           prefetched=level is target)
 
         # A PQ entry holds the request only until it is handed to the
         # memory system (ChampSim semantics), not until the fill lands.
-        target.pq_push(cycle + target.params.hit_latency)
-        self.issued_prefetches[level] += 1
-        self.prefetcher.on_prefetch_fill(request.address, level)
+        target.storage.pq_push(cycle + target.hit_latency)
+        self.bus.publish(PrefetchIssued(request.level, txn.line,
+                                        request.address, cycle))
         return True
 
-    def _fill_llc_if_absent(self, line: int, ready: float, cycle: float) -> None:
-        if not self.llc.contains(line):
-            self._fill(self.llc, line, ready, cycle)
-
-    def _already_close_enough(self, line: int, level: FillLevel) -> bool:
-        """Resident or in flight at/above the target level already."""
-        if self.l1d.contains(line) or self.l1d.mshr_pending(line) is not None:
-            return True
-        if level >= FillLevel.L2C and (
-                self.l2c.contains(line) or self.l2c.mshr_pending(line) is not None):
-            return True
-        return level == FillLevel.LLC and (
-            self.llc.contains(line) or self.llc.mshr_pending(line) is not None)
+    def _admission_reject(self, txn: MemTransaction, target: CacheLevel,
+                          depth: int, cycle: float) -> str | None:
+        """First failing admission check for a prefetch, if any."""
+        for level in self.levels[:depth + 1]:
+            if (level.storage.contains(txn.line)
+                    or level.storage.mshr_pending(txn.line) is not None):
+                return "resident"
+        if target.storage.pq_free(cycle) <= 0:
+            return "pq_full"
+        if not target.storage.mshr_has_room_for_prefetch(cycle):
+            return "mshr_full"
+        return None
 
     # ----------------------------------------------------------- SystemView
 
     def free_pq_entries(self, level: FillLevel) -> int:
         """Free prefetch-queue slots at a level (SystemView)."""
-        cache = {FillLevel.L1D: self.l1d, FillLevel.L2C: self.l2c,
-                 FillLevel.LLC: self.llc}[level]
-        return cache.pq_free(self._view_cycle)
+        return self.level_for(level).storage.pq_free(self._view_cycle)
 
     def prefetch_headroom(self, level: FillLevel) -> int:
         """What a level can actually take now: min of PQ room and MSHR room
         (one MSHR is always reserved for demands)."""
-        cache = {FillLevel.L1D: self.l1d, FillLevel.L2C: self.l2c,
-                 FillLevel.LLC: self.llc}[level]
-        mshr_room = max(0, cache.mshr_free(self._view_cycle) - 1)
-        return min(cache.pq_free(self._view_cycle), mshr_room)
+        storage = self.level_for(level).storage
+        mshr_room = max(0, storage.mshr_free(self._view_cycle) - 1)
+        return min(storage.pq_free(self._view_cycle), mshr_room)
 
     def dram_utilization(self) -> float:
         """Coarse DRAM busy fraction (SystemView)."""
         return self.dram.utilization_hint(self._view_cycle)
-
-    _view_cycle: float = 0.0
 
     def set_view_cycle(self, cycle: float) -> None:
         """Engine sets the cycle SystemView queries are answered at."""
@@ -328,14 +317,12 @@ class Hierarchy:
     def flush_accounting(self) -> None:
         """Resolve still-resident prefetched lines as useless (end of run)."""
         self._sync(float("inf"))
-        for cache in (self.l1d, self.l2c, self.llc):
-            cache.flush_prefetch_accounting()
+        for level in self.levels:
+            level.flush_prefetch_accounting()
 
     def reset_stats(self) -> None:
         """Clear all counters (used at the warmup/measurement boundary)."""
-        for cache in (self.l1d, self.l2c, self.llc):
-            cache.stats.reset()
+        for level in self.levels:
+            level.storage.stats.reset()
         self.dram.stats.reset()
-        self.issued_prefetches = {level: 0 for level in FillLevel}
-        self.dropped_prefetches = 0
-        self.drop_reasons = {"resident": 0, "pq_full": 0, "mshr_full": 0}
+        self.prefetch_accounting.reset()

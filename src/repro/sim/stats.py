@@ -57,6 +57,10 @@ class SimResult:
     dram_writeback_requests: int = 0
     issued_prefetches: dict[FillLevel, int] = field(default_factory=dict)
     dropped_prefetches: int = 0
+    # Per-component event counts from the opt-in EventTrace observer;
+    # None when tracing was off (the serialized form omits it, so golden
+    # fixtures and cached results are unchanged by default).
+    event_counters: dict | None = None
 
     @property
     def ipc(self) -> float:
@@ -100,7 +104,7 @@ class SimResult:
         form; :meth:`from_dict` must round-trip it bit-identically (floats
         survive JSON via repr-based encoding).
         """
-        return {
+        data = {
             "trace_name": self.trace_name,
             "prefetcher_name": self.prefetcher_name,
             "instructions": self.instructions,
@@ -114,6 +118,9 @@ class SimResult:
                                   in self.issued_prefetches.items()},
             "dropped_prefetches": self.dropped_prefetches,
         }
+        if self.event_counters is not None:
+            data["event_counters"] = self.event_counters
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":
@@ -131,6 +138,7 @@ class SimResult:
             issued_prefetches={FillLevel(int(level)): count for level, count
                                in data["issued_prefetches"].items()},
             dropped_prefetches=data["dropped_prefetches"],
+            event_counters=data.get("event_counters"),
         )
 
 

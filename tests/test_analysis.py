@@ -181,3 +181,39 @@ class TestFig3Example:
         assert values["mean_pcr"] == 1.5
         assert values["mean_pdr"] == 1.5
         assert values["pcr_of_B"] == 2.0
+
+
+class TestEventHeatmap:
+    def test_buckets_by_region_and_offset(self):
+        from repro.analysis.heatmap import event_heatmap
+        # Region 0 offsets 0 and 1, region 1 offset 0 (64 lines / region).
+        log = [(0.0, "PrefetchUseless", "L1D", 0),
+               (1.0, "PrefetchUseless", "L1D", 1),
+               (2.0, "PrefetchUseless", "L1D", 64),
+               (3.0, "CacheAccess", "L1D", 2)]
+        matrix = event_heatmap(log, kind="PrefetchUseless")
+        assert matrix.shape == (64, 64)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1 and matrix[1, 0] == 1
+        assert matrix.sum() == 3            # the CacheAccess row is filtered
+
+    def test_unfiltered_counts_everything_and_renders(self):
+        from repro.analysis.heatmap import event_heatmap, render_ascii
+        log = [(0.0, "CacheAccess", "L1D", i) for i in range(10)]
+        matrix = event_heatmap(log)
+        assert matrix.sum() == 10
+        assert render_ascii(matrix)         # drawable like the Fig 5 maps
+
+    def test_simulated_event_log_feeds_heatmap(self):
+        from repro.analysis.heatmap import event_heatmap
+        from repro.prefetchers.base import NoPrefetcher
+        from repro.sim.hierarchy import Hierarchy
+        from repro.sim.observers import EventTrace
+        from repro.sim.params import SystemConfig
+        h = Hierarchy.build(SystemConfig.default(), NoPrefetcher())
+        tracer = EventTrace(h.bus)
+        cycle = 0.0
+        for i in range(500):
+            latency, _ = h.demand_access(i * 64, cycle)
+            cycle += latency + 1
+        assert event_heatmap(tracer.log, kind="CacheAccess").sum() == \
+            tracer.total("CacheAccess")

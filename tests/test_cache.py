@@ -1,8 +1,13 @@
-"""Cache level: LRU, deferred fills, MSHRs, PQs, prefetch accounting."""
+"""Cache storage: LRU, deferred fills, the indexed fill queue, MSHRs, PQs.
+
+Storage is pure mechanics — accounting is applied by bus observers and is
+covered in ``test_event_kernel.py``; here we check what the storage
+*reports* (hits, consumed prefetch bits, victims) and its queue state.
+"""
 
 from hypothesis import given, strategies as st
 
-from repro.sim.cache import Cache
+from repro.sim.cache import Cache, PendingFill
 from repro.sim.params import CacheParams
 
 
@@ -14,40 +19,70 @@ def small_cache(ways=2, sets=2, mshr=4, pq=4):
 class TestLookupAndFill:
     def test_miss_then_hit(self):
         cache = small_cache()
-        assert not cache.lookup(10, 0.0)
-        cache.fill_now(10, 0.0)
-        assert cache.lookup(10, 1.0)
-        assert cache.stats.demand_hits == 1
-        assert cache.stats.demand_misses == 1
+        hit, _ = cache.access(10, 0.0)
+        assert not hit
+        inserted, _, _ = cache.fill_now(10, 0.0)
+        assert inserted
+        hit, used_prefetch = cache.access(10, 1.0)
+        assert hit and not used_prefetch
 
     def test_lru_eviction_order(self):
         cache = small_cache(ways=2, sets=1)
         cache.fill_now(0, 0.0)
         cache.fill_now(1, 0.0)
-        cache.lookup(0, 1.0)            # 0 becomes MRU
-        victim, _ = cache.fill_now(2, 2.0)
+        cache.access(0, 1.0)            # 0 becomes MRU
+        _, victim, _ = cache.fill_now(2, 2.0)
         assert victim == 1
 
     def test_refill_does_not_evict(self):
         cache = small_cache(ways=2, sets=1)
         cache.fill_now(0, 0.0)
         cache.fill_now(1, 0.0)
-        victim, _ = cache.fill_now(0, 1.0)
-        assert victim is None
+        inserted, victim, _ = cache.fill_now(0, 1.0)
+        assert not inserted and victim is None
         assert cache.resident_lines() == 2
 
     def test_refill_never_marks_demand_line_as_prefetch(self):
         cache = small_cache()
         cache.fill_now(5, 0.0)
         cache.fill_now(5, 1.0, prefetched=True)
-        cache.lookup(5, 2.0)
-        assert cache.stats.useful_prefetches == 0
+        _, used_prefetch = cache.access(5, 2.0)
+        assert not used_prefetch
 
     def test_write_sets_dirty(self):
         cache = small_cache()
         cache.fill_now(5, 0.0)
-        cache.lookup(5, 1.0, is_write=True)
+        cache.access(5, 1.0, is_write=True)
         assert cache.probe(5).dirty
+
+    def test_prefetch_bit_consumed_once(self):
+        cache = small_cache()
+        cache.fill_now(3, 0.0, prefetched=True)
+        assert cache.access(3, 1.0) == (True, True)
+        assert cache.access(3, 2.0) == (True, False)
+
+    def test_victim_entry_reports_state(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill_now(0, 0.0, prefetched=True, is_write=True)
+        _, victim, victim_entry = cache.fill_now(1, 1.0)
+        assert victim == 0
+        assert victim_entry.prefetched
+        assert victim_entry.dirty
+
+    def test_invalidate_returns_entry(self):
+        cache = small_cache()
+        cache.fill_now(0, 0.0, prefetched=True)
+        entry = cache.invalidate(0)
+        assert entry is not None and entry.prefetched
+        assert cache.invalidate(0) is None
+
+    def test_strip_prefetched_reports_lines(self):
+        cache = small_cache()
+        cache.fill_now(0, 0.0, prefetched=True)
+        cache.fill_now(1, 0.0, prefetched=True)
+        cache.access(0, 1.0)            # consumes line 0's bit
+        assert cache.strip_prefetched() == [1]
+        assert cache.strip_prefetched() == []
 
 
 class TestDeferredFills:
@@ -69,45 +104,36 @@ class TestDeferredFills:
         assert lines == [2, 3, 1]
 
 
-class TestPrefetchAccounting:
-    def test_useful_on_demand_hit(self):
+class TestFillQueueIndex:
+    def test_strip_prefetch_flag_is_indexed(self):
         cache = small_cache()
-        cache.fill_now(3, 0.0, prefetched=True)
-        cache.lookup(3, 1.0)
-        assert cache.stats.useful_prefetches == 1
-        # Second hit doesn't double count.
-        cache.lookup(3, 2.0)
-        assert cache.stats.useful_prefetches == 1
+        cache.schedule_fill(1, ready=10.0, prefetched=True)
+        cache.schedule_fill(2, ready=20.0, prefetched=True)
+        cache.fills.strip_prefetch_flag(1)
+        fills = {f.line: f for f in cache.pop_ready_fills(100.0)}
+        assert not fills[1].prefetched
+        assert fills[2].prefetched
 
-    def test_useless_on_eviction(self):
-        cache = small_cache(ways=1, sets=1)
-        cache.fill_now(0, 0.0, prefetched=True)
-        cache.fill_now(1, 1.0)
-        assert cache.stats.useless_prefetches == 1
-
-    def test_useless_on_invalidate(self):
+    def test_strip_unknown_line_is_noop(self):
         cache = small_cache()
-        cache.fill_now(0, 0.0, prefetched=True)
-        assert cache.invalidate(0)
-        assert cache.stats.useless_prefetches == 1
-        assert not cache.invalidate(0)
+        cache.fills.strip_prefetch_flag(42)   # no pending fill: no error
+        assert len(cache.fills) == 0
 
-    def test_flush_counts_residents(self):
+    def test_index_cleared_after_pop(self):
         cache = small_cache()
-        cache.fill_now(0, 0.0, prefetched=True)
-        cache.fill_now(1, 0.0, prefetched=True)
-        cache.lookup(0, 1.0)
-        cache.flush_prefetch_accounting()
-        assert cache.stats.useful_prefetches == 1
-        assert cache.stats.useless_prefetches == 1
+        cache.schedule_fill(1, ready=10.0, prefetched=True)
+        cache.pop_ready_fills(10.0)
+        # A stale index entry would flip this later fill's flag too.
+        cache.schedule_fill(1, ready=30.0, prefetched=True)
+        cache.fills.strip_prefetch_flag(1)
+        assert not cache.pop_ready_fills(30.0)[0].prefetched
 
-    def test_accuracy(self):
+    def test_duplicate_line_fills_both_stripped(self):
         cache = small_cache()
-        cache.fill_now(0, 0.0, prefetched=True)
-        cache.fill_now(1, 0.0, prefetched=True)
-        cache.lookup(0, 1.0)
-        cache.invalidate(1)
-        assert cache.stats.accuracy() == 0.5
+        cache.fills.push(PendingFill(10.0, 5, True, False))
+        cache.fills.push(PendingFill(20.0, 5, True, False))
+        cache.fills.strip_prefetch_flag(5)
+        assert all(not f.prefetched for f in cache.pop_ready_fills(100.0))
 
 
 class TestMSHR:
@@ -162,18 +188,3 @@ def test_occupancy_never_exceeds_capacity(lines):
         for s in cache._sets:
             assert len(s) <= cache.ways
     assert cache.resident_lines() <= cache.ways * cache.num_sets
-
-
-@given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
-                          st.booleans()), min_size=1, max_size=200))
-def test_accounting_identity(events):
-    """useful + useless never exceeds prefetch fills after a flush."""
-    cache = small_cache(ways=2, sets=2)
-    for i, (line, prefetched) in enumerate(events):
-        if cache.probe(line) is None:
-            cache.fill_now(line, float(i), prefetched=prefetched)
-        else:
-            cache.lookup(line, float(i))
-    cache.flush_prefetch_accounting()
-    stats = cache.stats
-    assert stats.useful_prefetches + stats.useless_prefetches == stats.prefetch_fills

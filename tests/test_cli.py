@@ -88,3 +88,18 @@ class TestParallelEngineFlags:
         assert not (tmp_path / "results").exists()
         # The manifest is still written for observability.
         assert list((tmp_path / "manifests").glob("table11-*.json"))
+
+    def test_trace_events_flag_reports_and_persists_counters(self, capsys,
+                                                             tmp_path):
+        import json
+
+        argv = ["table11", "--accesses", "2000", "--traces", "1",
+                "--trace-events", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "event counters" in out
+        assert "CacheAccess" in out
+        manifest = max((tmp_path / "manifests").glob("table11-*.json"))
+        data = json.loads(manifest.read_text())
+        counters = data["extra"]["event_counters"]
+        assert counters["CacheAccess"]["L1D"] > 0

@@ -5,7 +5,7 @@ import numpy as np
 from repro.memtrace import synthetic as syn
 from repro.memtrace.access import MemoryAccess
 from repro.memtrace.trace import Trace
-from repro.prefetchers import PMP, NextLine, NoPrefetcher
+from repro.prefetchers import PMP, NextLine
 from repro.sim.engine import compare, simulate
 from repro.sim.params import SystemConfig
 

@@ -117,3 +117,19 @@ class TestDepthReport:
         text = prefetch_depth_report(tiny_runner)
         assert "prefetches/trace" in text
         assert "pmp" in text
+
+
+class TestEventCounterReport:
+    def test_renders_rows_sorted(self):
+        from repro.experiments.report import event_counter_report
+        out = event_counter_report({"Eviction": {"L2C": 2, "L1D": 1},
+                                    "CacheAccess": {"L1D": 5}})
+        lines = out.splitlines()
+        assert "event" in lines[1] and "component" in lines[1]
+        body = lines[3:]
+        assert body[0].startswith("CacheAccess")
+        assert "L1D" in body[1] and "L2C" in body[2]
+
+    def test_empty_totals(self):
+        from repro.experiments.report import event_counter_report
+        assert "no events" in event_counter_report({})

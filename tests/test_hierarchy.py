@@ -69,7 +69,6 @@ class TestDemandPath:
 class TestInclusion:
     def test_llc_eviction_back_invalidates(self):
         h = build()
-        llc_lines = h.llc.num_sets * h.llc.ways
         latency, _ = h.demand_access(ADDR, 0.0)
         h._sync(latency + 1)
         line = ADDR >> 6

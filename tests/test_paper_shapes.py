@@ -13,9 +13,7 @@ from repro.experiments.runner import SuiteRunner
 from repro.memtrace.workloads import quick_suite
 from repro.prefetchers import PMP, Bingo, DesignB, DSPatch
 from repro.prefetchers.pmp import PMPConfig
-from repro.sim.engine import simulate
 from repro.sim.params import SystemConfig
-from repro.sim.stats import geomean
 
 
 @pytest.fixture(scope="module")

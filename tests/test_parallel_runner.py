@@ -185,3 +185,58 @@ class TestEngineDirect:
         expected = [(label, fresh.geomean_nipc(PMP, cfg))
                     for label, cfg in configs]
         assert grid["pmp"] == expected
+
+
+class TestTraceEvents:
+    """Opt-in event tracing through the cached, parallel engine."""
+
+    def test_trace_events_salts_cache_key_only_when_on(self):
+        trace = SPECS[0].build(1_000)
+        plain = SimJob(trace, NoPrefetcher(), SystemConfig.default())
+        traced = SimJob(trace, NoPrefetcher(), SystemConfig.default(),
+                        trace_events=True)
+        off = SimJob(trace, NoPrefetcher(), SystemConfig.default(),
+                     trace_events=False)
+        assert traced.key() != plain.key()
+        assert off.key() == plain.key()
+
+    def test_traced_run_matches_untraced_timing(self):
+        """The observer reads events; it must not change the simulation."""
+        plain = SuiteRunner(specs=SPECS, accesses=ACCESSES).run(PMP)
+        traced = SuiteRunner(specs=SPECS, accesses=ACCESSES,
+                             trace_events=True).run(PMP)
+        for p, t in zip(plain, traced):
+            assert t.event_counters is not None
+            t_dict = t.to_dict()
+            t_dict.pop("event_counters")
+            assert t_dict == p.to_dict()
+
+    def test_event_totals_accumulate_and_reach_manifest(self):
+        runner = SuiteRunner(specs=SPECS, accesses=ACCESSES,
+                             trace_events=True)
+        results = runner.run(NoPrefetcher)
+        totals = runner.engine.counters.event_totals
+        assert totals["CacheAccess"]["L1D"] == sum(
+            r.event_counters["CacheAccess"]["L1D"] for r in results)
+        manifest = runner.manifest("unit")
+        assert manifest.extra["event_counters"] == totals
+
+    def test_traced_results_replay_from_cache(self, tmp_path):
+        cold = SuiteRunner(specs=SPECS, accesses=ACCESSES,
+                           cache=tmp_path, trace_events=True)
+        first = cold.run(NoPrefetcher)
+        warm = SuiteRunner(specs=SPECS, accesses=ACCESSES,
+                           cache=tmp_path, trace_events=True)
+        replayed = warm.run(NoPrefetcher)
+        assert warm.engine.counters.simulated == 0
+        assert result_dicts(replayed) == result_dicts(first)
+        # Cache hits still feed the batch's event totals.
+        assert (warm.engine.counters.event_totals
+                == cold.engine.counters.event_totals)
+
+    def test_parallel_traced_run_bit_identical_to_serial(self):
+        serial = SuiteRunner(specs=SPECS, accesses=ACCESSES,
+                             trace_events=True).run(PMP)
+        parallel = SuiteRunner(specs=SPECS, accesses=ACCESSES,
+                               trace_events=True, workers=4).run(PMP)
+        assert result_dicts(parallel) == result_dicts(serial)

@@ -1,7 +1,5 @@
 """Trace container, statistics and on-disk formats."""
 
-import numpy as np
-
 from repro.memtrace.access import MemoryAccess
 from repro.memtrace.trace import Trace, interleave
 

@@ -1,7 +1,6 @@
 """The 125-trace suite: family split, determinism, classification."""
 
 from repro.memtrace.workloads import (
-    WorkloadSpec,
     build_suite,
     classify_suite,
     full_suite,
