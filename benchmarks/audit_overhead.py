@@ -1,0 +1,64 @@
+"""Bound the invariant auditor's overhead on the golden trace.
+
+CI runs this as a standalone script (not part of the tier-1 suite —
+wall-clock assertions are too noisy for a gating test run on developer
+machines).  It simulates the golden spec06-00 trace with PMP, audit off
+and audit on, best-of-N each, and fails when the audited run costs more
+than the budgeted fraction extra.  The no-audit runs double as a check
+that merely shipping the audit subsystem did not slow the default path:
+no auditor is constructed and no bus handler is subscribed unless a run
+opts in.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/audit_overhead.py [--budget 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def best_of(runs: int, simulate, trace, factory, **kwargs) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        simulate(trace, factory(), **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=0.15,
+                        help="max audited overhead as a fraction (0.15 = 15%%)")
+    parser.add_argument("--accesses", type=int, default=4000,
+                        help="golden-trace length (matches the fixture)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="repetitions per configuration (best-of)")
+    args = parser.parse_args(argv)
+
+    from repro.memtrace.workloads import full_suite
+    from repro.prefetchers.pmp import PMP
+    from repro.sim.engine import simulate
+
+    spec = next(s for s in full_suite() if s.name == "spec06-00")
+    trace = spec.build(args.accesses)
+
+    best_of(1, simulate, trace, PMP, check_invariants=False)  # warm caches
+    off = best_of(args.runs, simulate, trace, PMP, check_invariants=False)
+    on = best_of(args.runs, simulate, trace, PMP, check_invariants=True)
+    overhead = on / off - 1
+    print(f"no-audit: {off * 1000:.1f}ms  audited: {on * 1000:.1f}ms  "
+          f"overhead: {overhead:+.1%} (budget {args.budget:.0%})")
+    if overhead > args.budget:
+        print("FAIL: invariant auditor exceeds its overhead budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ writes a JSON manifest (git SHA, timings, cache hit/miss counts) under
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -67,7 +68,8 @@ def _runner(args: argparse.Namespace) -> SuiteRunner:
     runner = SuiteRunner(specs=_specs(args), accesses=args.accesses,
                          store=store, workers=args.workers,
                          cache=args.cache_dir if args.cache else None,
-                         trace_events=args.trace_events)
+                         trace_events=args.trace_events,
+                         check_invariants=args.check_invariants)
     # main() writes one manifest per experiment from the runners it created.
     args.created_runners.append(runner)
     return runner
@@ -241,7 +243,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="attach the event-trace observer; prints the "
                              "per-component event counters and stores them "
                              "in the run manifest")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="audit kernel conservation laws during every "
+                             "simulation (MSHR/fill-queue/inclusion/stats/"
+                             "dirty-writeback); aborts with a structured "
+                             "InvariantViolation on the first breach")
     args = parser.parse_args(argv)
+    if args.check_invariants:
+        # The env flag reaches every simulation path — worker processes
+        # and the multicore driver included — not just SuiteRunner jobs.
+        os.environ["REPRO_CHECK_INVARIANTS"] = "1"
 
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -31,6 +31,7 @@ import numpy as np
 from ..memtrace.trace import Trace, TraceArrays
 from ..prefetchers.base import Prefetcher
 from ..sim.engine import simulate
+from ..sim.invariants import audit_requested
 from ..sim.observers import merge_counter_snapshots
 from ..sim.params import SystemConfig
 from ..sim.stats import SimResult
@@ -46,6 +47,10 @@ class SimJob:
     config: SystemConfig
     warmup_fraction: float = 0.2
     trace_events: bool = False
+    # Attach the invariant auditor to this run.  Deliberately NOT part of
+    # key(): auditing is pure observation (results are identical with it
+    # on or off), so audited and unaudited runs share cache entries.
+    check_invariants: bool = False
 
     def key(self) -> str:
         """Content hash identifying this job's result.
@@ -69,11 +74,13 @@ class SimJob:
 def _simulate_payload(name: str, family: str, seed: int, arrays: TraceArrays,
                       prefetcher: Prefetcher, config: SystemConfig,
                       warmup_fraction: float,
-                      trace_events: bool = False) -> SimResult:
+                      trace_events: bool = False,
+                      check_invariants: bool = False) -> SimResult:
     """Worker entry point: rebuild the trace and run one simulation."""
     trace = Trace.from_arrays(name, arrays, family=family, seed=seed)
     return simulate(trace, prefetcher, config, warmup_fraction,
-                    trace_events=trace_events)
+                    trace_events=trace_events,
+                    check_invariants=check_invariants or None)
 
 
 @dataclass
@@ -84,6 +91,9 @@ class EngineCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     simulated: int = 0
+    # Simulations that ran with the invariant auditor attached (a cache
+    # hit skips the simulation, so it is not an audited run).
+    audited: int = 0
     batches: int = 0
     wall_seconds: float = 0.0
     # Accumulated {event: {component: count}} from jobs that ran with
@@ -97,6 +107,7 @@ class EngineCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "simulated": self.simulated,
+            "audited": self.audited,
             "batches": self.batches,
             "wall_seconds": self.wall_seconds,
         }
@@ -135,10 +146,14 @@ class ExperimentEngine:
                 self._run_parallel(pending, results)
             else:
                 for index, job, _ in pending:
-                    results[index] = simulate(job.trace, job.prefetcher,
-                                              job.config, job.warmup_fraction,
-                                              trace_events=job.trace_events)
+                    results[index] = simulate(
+                        job.trace, job.prefetcher, job.config,
+                        job.warmup_fraction, trace_events=job.trace_events,
+                        check_invariants=job.check_invariants or None)
             self.counters.simulated += len(pending)
+            self.counters.audited += sum(
+                1 for _, job, _ in pending
+                if audit_requested(job.check_invariants or None))
             if self.cache is not None:
                 for index, _, key in pending:
                     if key is not None:
@@ -174,13 +189,14 @@ class ExperimentEngine:
                     (np.asarray(pcs), np.asarray(addrs),
                      np.asarray(writes), np.asarray(gaps)),
                     job.prefetcher, job.config, job.warmup_fraction,
-                    job.trace_events)))
+                    job.trace_events, job.check_invariants)))
             for index, job, future in futures:
                 try:
                     results[index] = future.result()
                 except Exception:
                     retry_inline.append((index, job))
         for index, job in retry_inline:
-            results[index] = simulate(job.trace, job.prefetcher,
-                                      job.config, job.warmup_fraction,
-                                      trace_events=job.trace_events)
+            results[index] = simulate(
+                job.trace, job.prefetcher, job.config, job.warmup_fraction,
+                trace_events=job.trace_events,
+                check_invariants=job.check_invariants or None)

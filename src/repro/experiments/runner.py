@@ -62,6 +62,10 @@ class SuiteRunner:
     # Attach the opt-in EventTrace observer to every simulation; the
     # per-component counter totals land in the run manifest.
     trace_events: bool = False
+    # Attach the invariant auditor to every simulation (also enabled
+    # globally by REPRO_CHECK_INVARIANTS=1).  The audit count lands in
+    # the run manifest.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         self._traces: list[Trace] | None = None
@@ -91,7 +95,8 @@ class SuiteRunner:
               config: SystemConfig) -> list[SimJob]:
         """One fresh-prefetcher job per trace, in suite order."""
         return [SimJob(trace, factory(), config, self.warmup_fraction,
-                       trace_events=self.trace_events)
+                       trace_events=self.trace_events,
+                       check_invariants=self.check_invariants)
                 for trace in self.traces]
 
     def baselines(self, config: SystemConfig | None = None) -> list[SimResult]:
@@ -232,6 +237,11 @@ class SuiteRunner:
         """The manifest's free-form section (event counters when traced)."""
         extra = {"batches": counters.batches,
                  "warmup_fraction": self.warmup_fraction}
+        if counters.audited:
+            # Every audited simulation completed, i.e. raised no
+            # InvariantViolation (a violation aborts the run).
+            extra["invariant_audit"] = {"simulations_audited": counters.audited,
+                                        "violations": 0}
         if counters.event_totals:
             extra["event_counters"] = {
                 kind: dict(per_component)

@@ -2,9 +2,10 @@
 
 from .cache import Cache, CacheLine, CacheStats
 from .core import Core
-from .dram import Dram, DramStats
+from .dram import Dram, DramPort, DramStats
 from .engine import compare, simulate
 from .hierarchy import Hierarchy, SharedLLC
+from .invariants import InvariantAuditor, InvariantViolation, audit_requested
 from .multicore import multicore_speedup, simulate_multicore
 from .params import CacheParams, CoreParams, DramParams, SystemConfig
 from .stats import LevelStats, SimResult, geomean
@@ -18,12 +19,16 @@ __all__ = [
     "CoreParams",
     "Dram",
     "DramParams",
+    "DramPort",
     "DramStats",
     "Hierarchy",
+    "InvariantAuditor",
+    "InvariantViolation",
     "LevelStats",
     "SharedLLC",
     "SimResult",
     "SystemConfig",
+    "audit_requested",
     "compare",
     "geomean",
     "multicore_speedup",

@@ -37,12 +37,18 @@ class CacheLine:
 
 @dataclass(slots=True)
 class PendingFill:
-    """A fill scheduled for the future (data still in flight)."""
+    """A fill scheduled for the future (data still in flight).
+
+    ``canceled`` marks a fill whose line was back-invalidated while the
+    data was still in flight: the entry stays in the readiness heap
+    (removing from a heap's middle is O(n)) but is skipped when it pops.
+    """
 
     ready: float
     line: int
     prefetched: bool
     is_write: bool
+    canceled: bool = False
 
 
 class FillQueue:
@@ -95,6 +101,8 @@ class FillQueue:
         by_line = self._by_line
         while heap and heap[0][0] <= cycle:
             fill = heapq.heappop(heap)[2]
+            if fill.canceled:
+                continue
             bucket = by_line[fill.line]
             if len(bucket) == 1:
                 del by_line[fill.line]
@@ -102,6 +110,24 @@ class FillQueue:
                 bucket.remove(fill)
             out.append(fill)
         return out
+
+    def cancel_line(self, line: int) -> list[PendingFill]:
+        """Cancel every in-flight fill of ``line`` (back-invalidation).
+
+        The fills are dropped from the per-line index and flagged so the
+        readiness heap skips them when they pop; returns what was
+        canceled so the cache can release the matching MSHR entry.
+        """
+        bucket = self._by_line.pop(line, None)
+        if bucket is None:
+            return []
+        for fill in bucket:
+            fill.canceled = True
+        return bucket
+
+    def live_count(self) -> int:
+        """Pending fills excluding canceled heap residue."""
+        return sum(len(bucket) for bucket in self._by_line.values())
 
     def strip_prefetch_flag(self, line: int) -> None:
         """Demote in-flight fills of ``line`` to demand fills (O(1) lookup)."""
@@ -233,6 +259,21 @@ class Cache:
         """Remove a line (inclusive back-invalidation).  Returns the
         evicted entry when it was present, else None."""
         return self._set_for(line).pop(line, None)
+
+    def cancel_fills(self, line: int) -> bool:
+        """Cancel in-flight fills of a back-invalidated line.
+
+        Without this, a private fill still in flight when the inclusive
+        LLC evicts its line installs after the back-invalidation swept
+        through — leaving the private cache holding a line the LLC no
+        longer tracks.  Releases the matching MSHR entry too (its fill
+        will never apply, so nothing else would).
+        """
+        canceled = self.fills.cancel_line(line)
+        if not canceled:
+            return False
+        self.mshr_release(line)
+        return True
 
     def strip_prefetched(self) -> list[int]:
         """Clear every resident prefetched bit; returns the lines cleared.

@@ -49,6 +49,37 @@ class _Channel:
         self.demand_next_free = 0.0   # demand-only backlog
 
 
+class DramPort:
+    """One requestor's view of a (possibly shared) :class:`Dram`.
+
+    Forwards traffic to the underlying channels unchanged while
+    attributing every request to its own :class:`DramStats` block, so a
+    multicore run can report the requests *each* hierarchy issued rather
+    than handing every core the shared hardware totals.  Timing is
+    untouched: the port adds counters, not queueing.
+    """
+
+    __slots__ = ("dram", "stats")
+
+    def __init__(self, dram: "Dram") -> None:
+        self.dram = dram
+        self.stats = DramStats()
+
+    def request(self, line: int, cycle: float, *,
+                is_prefetch: bool = False) -> float:
+        """Issue a line fetch, counted against this port's requestor."""
+        if is_prefetch:
+            self.stats.prefetch_requests += 1
+        else:
+            self.stats.demand_requests += 1
+        return self.dram.request(line, cycle, is_prefetch=is_prefetch)
+
+    def writeback(self, line: int, cycle: float) -> None:
+        """Queue a dirty-line writeback on behalf of this requestor."""
+        self.stats.writeback_requests += 1
+        self.dram.writeback(line, cycle)
+
+
 class Dram:
     """Multi-channel DRAM; channels are selected by line-address interleaving."""
 

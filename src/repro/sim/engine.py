@@ -16,6 +16,7 @@ from ..memtrace.trace import Trace
 from ..prefetchers.base import NoPrefetcher, Prefetcher
 from .core import Core
 from .hierarchy import Hierarchy
+from .invariants import InvariantAuditor, audit_requested
 from .observers import EventTrace
 from .params import SystemConfig
 from .stats import SimResult, snapshot_level
@@ -26,7 +27,8 @@ PrefetcherFactory = Callable[[], Prefetcher]
 def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
              config: SystemConfig | None = None,
              warmup_fraction: float = 0.2,
-             trace_events: bool = False) -> SimResult:
+             trace_events: bool = False,
+             check_invariants: bool | None = None) -> SimResult:
     """Run one trace through one prefetcher; returns the measured stats.
 
     ``trace_events=True`` attaches the opt-in :class:`EventTrace`
@@ -34,6 +36,15 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     lands in ``SimResult.event_counters`` (and, via the experiment
     engine, in run manifests).  When off, the observer is never
     subscribed and the bus costs one dict probe per event type.
+
+    ``check_invariants=True`` attaches an
+    :class:`~repro.sim.invariants.InvariantAuditor` that enforces the
+    kernel's conservation laws as the run progresses, raising
+    :class:`~repro.sim.invariants.InvariantViolation` on the first
+    breach.  ``None`` (the default) defers to the
+    ``REPRO_CHECK_INVARIANTS`` environment variable, so CI can audit
+    every simulation without touching call sites.  Auditing is pure
+    observation: results are identical with it on or off.
     """
     if prefetcher is None:
         prefetcher = NoPrefetcher()
@@ -42,6 +53,8 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
 
     hierarchy = Hierarchy.build(config, prefetcher)
     tracer = EventTrace(hierarchy.bus) if trace_events else None
+    auditor = (InvariantAuditor(hierarchy)
+               if audit_requested(check_invariants) else None)
     core = Core(config.core)
     warmup_end = int(len(trace) * warmup_fraction)
     measured_start_instr = 0
@@ -52,6 +65,8 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
             hierarchy.reset_stats()
             if tracer is not None:
                 tracer.reset()
+            if auditor is not None:
+                auditor.on_reset()
             measured_start_instr = core.instructions
             measured_start_cycle = core.cycle
 
@@ -67,9 +82,14 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
                                         issue_cycle, l1_hit, hierarchy)
         for request in requests:
             hierarchy.issue_prefetch(request, issue_cycle)
+        if auditor is not None:
+            auditor.checkpoint(issue_cycle)
 
     core.drain()
-    hierarchy.flush_accounting()
+    final_cycle = core.cycle
+    hierarchy.flush_accounting(final_cycle)
+    if auditor is not None:
+        auditor.finalize(final_cycle)
 
     return SimResult(
         trace_name=trace.name,

@@ -101,11 +101,14 @@ class BackInvalidation:
     Carries the private cache's name and its counter block so the stats
     observer can attribute the loss even when the invalidated cache
     belongs to *another core's* hierarchy (shared-LLC multicore runs).
+    ``dirty`` marks a modified private copy — the evicting level must
+    write the data back to DRAM, since the LLC copy it shadowed is gone.
     """
 
     cache_name: str
     line: int
     prefetched: bool
+    dirty: bool
     cycle: float
     stats: "CacheStats"
 

@@ -29,8 +29,8 @@ from __future__ import annotations
 
 from ..memtrace.access import CACHELINE_BITS
 from ..prefetchers.base import FillLevel, PrefetchRequest, Prefetcher
-from .cache import Cache, CacheLine
-from .dram import Dram
+from .cache import Cache, CacheLine, CacheStats
+from .dram import Dram, DramPort
 from .events import EventBus, PrefetchDropped, PrefetchIssued
 from .level import CacheLevel, MemTransaction, PREFETCH
 from .observers import (
@@ -56,6 +56,12 @@ class SharedLLC:
     def back_invalidate(self, line: int) -> list[tuple[Cache, CacheLine]]:
         """Remove an evicted LLC line from every private cache.
 
+        Fills of the line still in flight to a private cache are
+        canceled too: one sync pass can apply an LLC fill whose victim
+        is a line a private level is *about* to install (the LLC drains
+        first, precisely so back-invalidations precede private fills),
+        and letting that fill land would break inclusion.
+
         Returns the ``(cache, evicted_entry)`` pairs that actually held
         the line, so the evicting level can publish one
         :class:`~repro.sim.events.BackInvalidation` per copy removed.
@@ -65,6 +71,7 @@ class SharedLLC:
             entry = cache.invalidate(line)
             if entry is not None:
                 removed.append((cache, entry))
+            cache.cancel_fills(line)
         return removed
 
 
@@ -85,17 +92,20 @@ class Hierarchy:
         self.core_id = core_id
         self.shared_llc = shared_llc
         self.dram = dram
+        # All of this hierarchy's memory traffic goes through its own
+        # port, so a shared Dram can attribute requests per core.
+        self.dram_port = DramPort(dram)
         self.bus = EventBus()
         self._view_cycle = 0.0
 
         llc_level = CacheLevel(FillLevel.LLC, shared_llc.cache, self.bus,
-                               dram, below=None, shared=shared_llc)
+                               self.dram_port, below=None, shared=shared_llc)
         l2c_level = CacheLevel(FillLevel.L2C,
                                Cache(config.l2c, name=f"L2C{core_id}"),
-                               self.bus, dram, below=llc_level)
+                               self.bus, self.dram_port, below=llc_level)
         l1d_level = CacheLevel(FillLevel.L1D,
                                Cache(config.l1d, name=f"L1D{core_id}"),
-                               self.bus, dram, below=l2c_level)
+                               self.bus, self.dram_port, below=l2c_level)
         # Descent order: closest to the core first.
         self.levels: tuple[CacheLevel, ...] = (l1d_level, l2c_level, llc_level)
         # Fill-sync order: LLC first, so inclusive back-invalidations
@@ -107,9 +117,15 @@ class Hierarchy:
         self.llc = llc_level.storage
         shared_llc.register(self.l1d, self.l2c)
 
+        # This core's view of the shared LLC counters: LLC events from
+        # *this* hierarchy's accesses increment both the shared storage
+        # block (hardware totals) and this per-core mirror.
+        self.llc_stats = CacheStats()
+
         # Always-on subscribers: counters and prefetcher feedback.
         self.stats_observer = LevelStatsObserver(self.bus,
-                                                 snapshot_levels(self.levels))
+                                                 snapshot_levels(self.levels),
+                                                 llc_mirror=self.llc_stats)
         self.prefetch_accounting = PrefetchAccounting(self.bus)
         self.prefetcher_bridge = PrefetcherBridge(self.bus, prefetcher)
 
@@ -203,7 +219,7 @@ class Hierarchy:
                 # levels admit the descending miss with the L1 slot held.
                 txn.latency += self._mshr_stall(level.storage, cycle)
 
-        completion = self.dram.request(txn.line, cycle + txn.latency)
+        completion = self.dram_port.request(txn.line, cycle + txn.latency)
         for level in self.levels:
             level.storage.mshr_allocate(txn.line, completion, now=cycle)
         for level in reversed(self.levels):
@@ -257,7 +273,8 @@ class Hierarchy:
                 ready = llc_pending
             else:
                 arrival = cycle + llc.hit_latency
-                ready = self.dram.request(txn.line, arrival, is_prefetch=True)
+                ready = self.dram_port.request(txn.line, arrival,
+                                               is_prefetch=True)
             target.storage.mshr_allocate(txn.line, ready, now=cycle,
                                          is_prefetch=True)
 
@@ -314,15 +331,37 @@ class Hierarchy:
 
     # ------------------------------------------------------------- lifecycle
 
-    def flush_accounting(self) -> None:
-        """Resolve still-resident prefetched lines as useless (end of run)."""
+    def flush_accounting(self, cycle: float = 0.0) -> None:
+        """Resolve still-resident prefetched lines as useless (end of run).
+
+        ``cycle`` is the final simulated cycle, stamped on the flush
+        events so event timelines do not place them at time zero.
+        """
         self._sync(float("inf"))
         for level in self.levels:
-            level.flush_prefetch_accounting()
+            level.flush_prefetch_accounting(cycle)
+
+    def reset_private_stats(self) -> None:
+        """Clear this core's private counters (its own warmup boundary).
+
+        Touches nothing shared: a multicore lane crossing its warmup
+        boundary must not wipe the LLC storage or DRAM counters other
+        cores are still measuring.
+        """
+        self.l1d.stats.reset()
+        self.l2c.stats.reset()
+        self.prefetch_accounting.reset()
+
+    def reset_shared_attribution(self) -> None:
+        """Clear this core's view of the shared resources (LLC mirror and
+        DRAM port), used at the *global* measurement boundary so per-core
+        deltas sum to the shared hardware totals."""
+        self.llc_stats.reset()
+        self.dram_port.stats.reset()
 
     def reset_stats(self) -> None:
-        """Clear all counters (used at the warmup/measurement boundary)."""
-        for level in self.levels:
-            level.storage.stats.reset()
+        """Clear all counters (single-core warmup/measurement boundary)."""
+        self.reset_private_stats()
+        self.reset_shared_attribution()
+        self.llc.stats.reset()
         self.dram.stats.reset()
-        self.prefetch_accounting.reset()

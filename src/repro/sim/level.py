@@ -39,7 +39,7 @@ from .events import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .dram import Dram
+    from .dram import Dram, DramPort
     from .hierarchy import SharedLLC
 
 DEMAND = "demand"
@@ -85,7 +85,7 @@ class CacheLevel:
                  "_binv_handlers")
 
     def __init__(self, level: FillLevel, storage: Cache, bus: EventBus,
-                 dram: "Dram", below: "CacheLevel | None" = None,
+                 dram: "Dram | DramPort", below: "CacheLevel | None" = None,
                  shared: "SharedLLC | None" = None) -> None:
         self.level = level
         self.storage = storage
@@ -181,6 +181,8 @@ class CacheLevel:
         by_line = fills._by_line
         while heap and heap[0][0] <= cycle:
             fill = heappop(heap)[2]
+            if fill.canceled:
+                continue
             line = fill.line
             bucket = by_line[line]
             if len(bucket) == 1:
@@ -230,15 +232,22 @@ class CacheLevel:
         ev.cycle = cycle
         for handler in self._evict_handlers:
             handler(ev)
+        dirty_private = False
         if self.shared is not None:
             for cache, entry in self.shared.back_invalidate(victim):
-                binv = BackInvalidation(cache.name, victim,
-                                        entry.prefetched, cycle, cache.stats)
+                if entry.dirty:
+                    dirty_private = True
+                binv = BackInvalidation(cache.name, victim, entry.prefetched,
+                                        entry.dirty, cycle, cache.stats)
                 for handler in self._binv_handlers:
                     handler(binv)
         if victim_entry.prefetched:
             self._publish_useless(victim, "evicted", cycle)
-        if victim_entry.dirty:
+        # A dirty back-invalidated private copy holds data newer than the
+        # LLC line it shadowed; with that line gone, the only place left
+        # for it is memory — one writeback covers the freshest copy even
+        # when the LLC victim itself was also dirty.
+        if victim_entry.dirty or dirty_private:
             self._drain_dirty(victim, cycle)
 
     def _publish_useless(self, line: int, reason: str, cycle: float) -> None:
@@ -250,14 +259,24 @@ class CacheLevel:
             handler(ev)
 
     def _drain_dirty(self, victim: int, cycle: float) -> None:
-        """Dirty victims drain towards memory through the ``below`` port."""
+        """Dirty victims drain towards memory through the ``below`` chain.
+
+        The first level that still holds the line absorbs the data
+        (its copy turns dirty); only when no level between here and
+        memory has it does the victim go to DRAM.  Probing just the
+        immediate level would let an L1 victim absent from L2 but
+        resident in the inclusive LLC bypass the LLC straight to DRAM,
+        leaving the LLC copy clean and stale.
+        """
         below = self.below
         absorbed = False
-        if below is not None:
+        while below is not None:
             entry = below.storage.probe(victim)
             if entry is not None:
                 entry.dirty = True
                 absorbed = True
+                break
+            below = below.below
         if not absorbed:
             self.dram.writeback(victim, cycle)
         ev = self._ev_wb
@@ -267,7 +286,11 @@ class CacheLevel:
         for handler in self._wb_handlers:
             handler(ev)
 
-    def flush_prefetch_accounting(self) -> None:
-        """End-of-run: resident never-used prefetched lines are useless."""
+    def flush_prefetch_accounting(self, cycle: float = 0.0) -> None:
+        """End-of-run: resident never-used prefetched lines are useless.
+
+        ``cycle`` is the final simulated cycle so the flush events land
+        at the end of ``--trace-events`` timelines, not at time zero.
+        """
         for line in self.storage.strip_prefetched():
-            self._publish_useless(line, "flushed", 0.0)
+            self._publish_useless(line, "flushed", cycle)

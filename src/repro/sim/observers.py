@@ -46,17 +46,29 @@ class LevelStatsObserver:
     hit/miss per lookup, useful on consuming a prefetched bit (late or
     resident), useless on eviction/back-invalidation/flush of a
     still-set bit, fills and evictions as they happen.
+
+    ``llc_mirror`` is an optional second block that LLC-level events
+    additionally increment.  In a shared-LLC multicore run the routed
+    block is the shared storage's (hardware totals), while the mirror is
+    the publishing core's private view — the per-core attribution that
+    ``SimResult`` reports.  The mirror costs one identity check per
+    event and nothing when unset.
     """
 
     def __init__(self, bus: EventBus,
-                 stats_by_level: dict[FillLevel, CacheStats]) -> None:
+                 stats_by_level: dict[FillLevel, CacheStats],
+                 llc_mirror: CacheStats | None = None) -> None:
         self._stats = stats_by_level
+        self._llc_mirror = llc_mirror
         bus.subscribe(CacheAccess, self._on_access)
         bus.subscribe(PrefetchFill, self._on_fill)
         bus.subscribe(PrefetchUseful, self._on_useful)
         bus.subscribe(PrefetchUseless, self._on_useless)
         bus.subscribe(Eviction, self._on_eviction)
         bus.subscribe(BackInvalidation, self._on_back_invalidation)
+
+    def _mirror_for(self, level: FillLevel) -> CacheStats | None:
+        return self._llc_mirror if level is FillLevel.LLC else None
 
     def _on_access(self, event: CacheAccess) -> None:
         stats = self._stats[event.level]
@@ -65,21 +77,42 @@ class LevelStatsObserver:
             stats.demand_hits += 1
         else:
             stats.demand_misses += 1
+        mirror = self._mirror_for(event.level)
+        if mirror is not None:
+            mirror.demand_accesses += 1
+            if event.hit:
+                mirror.demand_hits += 1
+            else:
+                mirror.demand_misses += 1
 
     def _on_fill(self, event: PrefetchFill) -> None:
         self._stats[event.level].prefetch_fills += 1
+        mirror = self._mirror_for(event.level)
+        if mirror is not None:
+            mirror.prefetch_fills += 1
 
     def _on_useful(self, event: PrefetchUseful) -> None:
         stats = self._stats[event.level]
         stats.useful_prefetches += 1
         if event.late:
             stats.late_prefetch_hits += 1
+        mirror = self._mirror_for(event.level)
+        if mirror is not None:
+            mirror.useful_prefetches += 1
+            if event.late:
+                mirror.late_prefetch_hits += 1
 
     def _on_useless(self, event: PrefetchUseless) -> None:
         self._stats[event.level].useless_prefetches += 1
+        mirror = self._mirror_for(event.level)
+        if mirror is not None:
+            mirror.useless_prefetches += 1
 
     def _on_eviction(self, event: Eviction) -> None:
         self._stats[event.level].evictions += 1
+        mirror = self._mirror_for(event.level)
+        if mirror is not None:
+            mirror.evictions += 1
 
     def _on_back_invalidation(self, event: BackInvalidation) -> None:
         # The invalidated cache may belong to another core's hierarchy

@@ -1,0 +1,118 @@
+"""Property tests for the PMP prefetch buffer's issue discipline.
+
+The buffer feeds every bit-vector prefetcher in this repo, so a queueing
+bug here would skew all of them at once.  Hypothesis drives random
+insert/touch/drain schedules against the laws the paper's "no fixed
+prefetch degree" discipline implies: capacity is LRU-bounded, drains
+never exceed the machine's per-level headroom, and targets issue in
+nearest-the-trigger-first order with the unissued tail preserved.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetchers.base import FillLevel
+from repro.prefetchers.pmp import PrefetchBuffer
+
+
+class FakeView:
+    """SystemView stub: fixed per-level prefetch headroom."""
+
+    def __init__(self, headroom: dict[FillLevel, int]) -> None:
+        self._headroom = headroom
+
+    def prefetch_headroom(self, level: FillLevel) -> int:
+        return self._headroom.get(level, 0)
+
+
+LEVELS = st.sampled_from(list(FillLevel))
+TARGETS = st.lists(st.tuples(st.integers(0, 1 << 20), LEVELS),
+                   min_size=0, max_size=12)
+HEADROOMS = st.fixed_dictionaries(
+    {level: st.integers(0, 6) for level in FillLevel})
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 15), TARGETS),
+        st.tuples(st.just("touch"), st.integers(0, 15)),
+        st.tuples(st.just("drain"), st.integers(0, 15), HEADROOMS),
+    ),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(1, 8), OPS)
+def test_buffer_laws_hold_under_any_schedule(entries, ops):
+    buffer = PrefetchBuffer(entries)
+    expected: dict[int, list] = {}
+
+    for op in ops:
+        if op[0] == "insert":
+            _, region, targets = op
+            buffer.insert(region, list(targets))
+            expected[region] = list(targets)
+        elif op[0] == "touch":
+            _, region = op
+            pending = buffer.pending(region)
+            # `expected` never models LRU eviction, so only still-held
+            # regions are comparable.
+            if pending is not None and region in expected:
+                assert pending == expected[region]
+        else:
+            _, region, headroom = op
+            # Copy: pending() hands out the live list, which drain()'s
+            # consume mutates in place.
+            before = list(buffer.pending(region) or [])
+            requests = buffer.drain(region, FakeView(headroom))
+
+            # Never more than the machine can take, per level.
+            issued: dict[FillLevel, int] = {}
+            for request in requests:
+                issued[request.level] = issued.get(request.level, 0) + 1
+            for level, count in issued.items():
+                assert count <= headroom[level]
+
+            # Issue order is the stored order, from the front.
+            assert [(r.address, r.level) for r in requests] == \
+                before[:len(requests)]
+            # A drain stops only when the next target's level is full.
+            if len(requests) < len(before):
+                blocked_level = before[len(requests)][1]
+                assert headroom[blocked_level] - \
+                    issued.get(blocked_level, 0) <= 0
+            # The unissued tail survives for the next drain.
+            remaining = buffer.pending(region)
+            assert (remaining or []) == before[len(requests):]
+            if region in expected:
+                expected[region] = expected[region][len(requests):]
+                if not expected[region]:
+                    del expected[region]
+
+        # Capacity law: the LRU bound holds after every operation.
+        assert len(buffer) <= entries
+        # Nothing the buffer holds disagrees with the reference (the
+        # buffer may hold *fewer* regions than `expected` tracks, since
+        # `expected` never models LRU eviction).
+        for region in list(expected):
+            pending = buffer._data.get(region)
+            if pending is not None:
+                assert pending == expected[region]
+
+
+def test_lru_eviction_drops_oldest_untouched_region():
+    buffer = PrefetchBuffer(2)
+    buffer.insert(1, [(0x100, FillLevel.L1D)])
+    buffer.insert(2, [(0x200, FillLevel.L1D)])
+    assert buffer.pending(1)  # touch region 1: region 2 is now LRU
+    buffer.insert(3, [(0x300, FillLevel.L1D)])
+    assert buffer.pending(2) is None
+    assert buffer.pending(1) and buffer.pending(3)
+
+
+def test_reinserting_region_replaces_targets_without_eviction():
+    buffer = PrefetchBuffer(2)
+    buffer.insert(1, [(0x100, FillLevel.L1D)])
+    buffer.insert(2, [(0x200, FillLevel.L2C)])
+    buffer.insert(1, [(0x180, FillLevel.LLC)])
+    assert len(buffer) == 2
+    assert buffer.pending(1) == [(0x180, FillLevel.LLC)]
+    assert buffer.pending(2) == [(0x200, FillLevel.L2C)]

@@ -133,12 +133,18 @@ class TestInclusiveBackInvalidation:
         h._sync(latency + 1)
         line = addr >> 6
         assert h.l1d.probe(line).dirty
+        seen = []
+        h.bus.subscribe(Writeback, lambda e: seen.append((e.line, e.absorbed)))
         evict_from(h.levels[2], line, latency + 1)
-        # The LLC victim was clean but the chain must not lose the dirty
-        # private copy silently: inclusion is restored...
+        # The LLC victim was clean but the back-invalidated L1 copy was
+        # dirty: inclusion is restored...
         assert not h.l1d.contains(line) and not h.l2c.contains(line)
-        # ...and the LLC line itself, once dirtied via an L1 drain, does
-        # write back on its own eviction.
+        # ...and the dirty private data is not silently lost — with the
+        # LLC copy gone the only place left for it is memory.
+        assert h.dram.stats.writeback_requests == 1
+        assert [ab for ln, ab in seen if ln == line] == [False]
+        # The LLC line itself, once dirtied via an L1 drain, also writes
+        # back on its own eviction.
         h2 = build()
         h2.llc.fill_now(line, 0.0, is_write=True)
         evict_from(h2.levels[2], line, 1.0)
