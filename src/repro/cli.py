@@ -10,22 +10,37 @@ Examples::
     pmp-repro storage               # Tables III and V
     pmp-repro all --no-cache        # everything (slow), bypass result cache
     pmp-repro run fig9 --cache-dir /tmp/pmp-cache
+    pmp-repro fig8 --workers 8 --job-timeout 600   # watchdog stuck workers
+    pmp-repro fig8 --resume run-20260806-101530-a1b2c3  # after an interrupt
 
 Simulation-backed commands persist their results under ``--cache-dir``
 (default ``.repro-cache/``) keyed by a content hash of (trace, prefetcher
 config, system config), so a rerun replays instantly; every run also
-writes a JSON manifest (git SHA, timings, cache hit/miss counts) under
-``<cache-dir>/manifests/``.
+writes a JSON manifest (git SHA, timings, cache hit/miss, fault counts)
+under ``<cache-dir>/manifests/``.
+
+Fault tolerance: each simulating run appends finished jobs to a journal
+under ``<cache-dir>/runs/<run-id>/``.  SIGINT/SIGTERM stop gracefully at
+the next job boundary, flush the journal and print the ``--resume``
+hint; ``--resume <run-id>`` replays journaled jobs and simulates only
+the rest.  ``--job-timeout`` arms the per-job watchdog, ``--fail-fast``
+aborts on the first deterministic job failure instead of finishing the
+batch and reporting all failures at the end.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
+from pathlib import Path
 
 from .experiments import (
+    BatchFailed,
+    RunInterrupted,
+    RunJournal,
     SuiteRunner,
     bandwidth_sweep,
     counter_size_sweep,
@@ -60,6 +75,27 @@ def _specs(args: argparse.Namespace):
     return quick_suite()[:args.traces] if args.traces else quick_suite()
 
 
+def _journal(args: argparse.Namespace) -> RunJournal | None:
+    """The one journal shared by every runner of this invocation.
+
+    Created lazily so non-simulating commands (``storage``, ``table1``)
+    never litter ``<cache-dir>/runs/``.
+    """
+    if not args.journal:
+        return None
+    if getattr(args, "journal_obj", None) is None:
+        root = Path(args.cache_dir) / "runs"
+        if args.resume:
+            args.journal_obj = RunJournal.resume(root, args.resume)
+            print(f"[resuming run {args.journal_obj.run_id}: "
+                  f"{args.journal_obj.completed} job(s) already journaled]")
+        else:
+            args.journal_obj = RunJournal(root, args.run_id)
+            print(f"[run {args.journal_obj.run_id}: journal at "
+                  f"{args.journal_obj.directory}]")
+    return args.journal_obj
+
+
 def _runner(args: argparse.Namespace) -> SuiteRunner:
     store = None
     if args.trace_cache:
@@ -69,9 +105,14 @@ def _runner(args: argparse.Namespace) -> SuiteRunner:
                          store=store, workers=args.workers,
                          cache=args.cache_dir if args.cache else None,
                          trace_events=args.trace_events,
-                         check_invariants=args.check_invariants)
-    # main() writes one manifest per experiment from the runners it created.
+                         check_invariants=args.check_invariants,
+                         job_timeout=args.job_timeout,
+                         fail_fast=args.fail_fast,
+                         journal=_journal(args))
+    # main() writes one manifest per experiment from the runners it
+    # created; the signal handler stops every engine ever registered.
     args.created_runners.append(runner)
+    args.all_runners.append(runner)
     return runner
 
 
@@ -248,29 +289,107 @@ def main(argv: list[str] | None = None) -> int:
                              "simulation (MSHR/fill-queue/inclusion/stats/"
                              "dirty-writeback); aborts with a structured "
                              "InvariantViolation on the first breach")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock watchdog for parallel runs; "
+                             "a stuck worker is killed and the job retried "
+                             "on a fresh pool")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first deterministic job failure "
+                             "instead of finishing the batch and reporting "
+                             "every failure in the manifest")
+    parser.add_argument("--journal", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="journal finished jobs under "
+                             "<cache-dir>/runs/<run-id>/ for --resume")
+    parser.add_argument("--run-id", default=None,
+                        help="explicit id for this run's journal directory")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="replay the journaled jobs of an interrupted "
+                             "run and simulate only the remainder")
     args = parser.parse_args(argv)
     if args.check_invariants:
         # The env flag reaches every simulation path — worker processes
         # and the multicore driver included — not just SuiteRunner jobs.
         os.environ["REPRO_CHECK_INVARIANTS"] = "1"
+    if args.resume and not args.journal:
+        parser.error("--resume requires journaling (drop --no-journal)")
+    args.all_runners = []
+    args.journal_obj = None
+    if args.resume:
+        # Fail fast on a bad run id, before any simulation starts.
+        try:
+            _journal(args)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
+    # SIGINT/SIGTERM: stop every engine at its next job boundary (the
+    # journal is flushed per job, so nothing finished is lost); a second
+    # signal forces the default KeyboardInterrupt behaviour.
+    signals_seen = {"count": 0}
+
+    def _graceful_stop(signum, frame):
+        signals_seen["count"] += 1
+        if signals_seen["count"] > 1:
+            raise KeyboardInterrupt
+        print(f"\n[signal {signum}: stopping at the next job boundary — "
+              "signal again to force]", file=sys.stderr)
+        for runner in args.all_runners:
+            runner.engine.request_stop()
+
+    previous_handlers = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[sig] = signal.signal(sig, _graceful_stop)
+        except ValueError:
+            pass  # not in the main thread (embedded use); no handlers
+
+    exit_code = 0
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.time()
-        args.created_runners = []
-        print(f"== {name} ==")
-        COMMANDS[name](args)
-        for runner in args.created_runners:
-            manifest_dir = f"{args.cache_dir}/manifests"
-            path = runner.write_manifest(name, manifest_dir)
-            counters = runner.engine.counters
-            print(f"[manifest: {path} — {counters.simulated} simulated, "
-                  f"{counters.cache_hits} cache hits]")
-            if args.trace_events and counters.event_totals:
-                print(event_counter_report(counters.event_totals,
-                                           title=f"{name} — event counters"))
-        print(f"[{name} took {time.time() - start:.1f}s]\n")
-    return 0
+    try:
+        for name in names:
+            start = time.time()
+            args.created_runners = []
+            print(f"== {name} ==")
+            interrupted: RunInterrupted | None = None
+            try:
+                COMMANDS[name](args)
+            except BatchFailed as exc:
+                exit_code = 1
+                print(f"\n[{name}: {exc}]", file=sys.stderr)
+                for failure in exc.failures:
+                    print(f"--- job {failure.index} "
+                          f"({failure.trace_name}/{failure.prefetcher_name}) "
+                          f"[{failure.kind}, {failure.attempts} attempt(s)] "
+                          f"---\n{failure.traceback}", file=sys.stderr)
+            except RunInterrupted as exc:
+                interrupted = exc
+            finally:
+                for runner in args.created_runners:
+                    manifest_dir = f"{args.cache_dir}/manifests"
+                    path = runner.write_manifest(name, manifest_dir)
+                    counters = runner.engine.counters
+                    print(f"[manifest: {path} — {counters.simulated} "
+                          f"simulated, {counters.cache_hits} cache hits]")
+                    if args.trace_events and counters.event_totals:
+                        print(event_counter_report(
+                            counters.event_totals,
+                            title=f"{name} — event counters"))
+            print(f"[{name} took {time.time() - start:.1f}s]\n")
+            if interrupted is not None:
+                print(f"[interrupted: {interrupted}]", file=sys.stderr)
+                if interrupted.run_id:
+                    print(f"[resume with: pmp-repro {name} <same flags> "
+                          f"--resume {interrupted.run_id}]", file=sys.stderr)
+                exit_code = 130
+                break
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+        if args.journal_obj is not None:
+            args.journal_obj.close()
+    return exit_code
 
 
 if __name__ == "__main__":

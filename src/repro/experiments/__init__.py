@@ -28,7 +28,10 @@ from .multi_core import (
     homogeneous_speedup,
 )
 from .cache import ResultCache
-from .engine import ExperimentEngine, SimJob
+from .engine import EngineCounters, ExperimentEngine, SimJob
+from .faults import (BatchFailed, FaultPolicy, JobFailure, JobTimeout,
+                     RunInterrupted)
+from .journal import RunJournal
 from .manifest import RunManifest, current_git_sha
 from .report import format_percent, format_series, format_table
 from .runner import ParallelSuiteRunner, SuiteRunner
@@ -42,9 +45,16 @@ from .single_core import (
 )
 
 __all__ = [
+    "BatchFailed",
+    "EngineCounters",
     "ExperimentEngine",
+    "FaultPolicy",
+    "JobFailure",
+    "JobTimeout",
     "ParallelSuiteRunner",
     "ResultCache",
+    "RunInterrupted",
+    "RunJournal",
     "RunManifest",
     "SimJob",
     "SingleCoreResults",

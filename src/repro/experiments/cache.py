@@ -13,12 +13,20 @@ Results are stored one JSON file per key under ``<dir>/results/``, in the
 :meth:`SimResult.to_dict` form, so a warm-cache rerun of any experiment
 matrix replays the exact numbers without a single new simulation.  The
 hit/miss counters feed the per-experiment run manifests.
+
+**Integrity**: every entry carries a SHA-256 checksum over its result
+payload, verified on read.  An entry that fails to parse or to verify is
+*quarantined* — moved to ``<dir>/quarantine/`` and counted (the run
+manifest reports the count) — rather than silently treated as a miss and
+deleted, so corruption is visible and the bytes stay available for
+post-mortem.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import fields as dataclass_fields, is_dataclass
 from enum import Enum
 from pathlib import Path
@@ -28,9 +36,13 @@ import numpy as np
 from ..prefetchers.base import Prefetcher
 from ..sim.stats import SimResult
 
-#: Bump whenever SimResult semantics or simulator behaviour changes in a
-#: way that invalidates stored numbers.
-CACHE_VERSION = 1
+#: Bump whenever SimResult semantics, simulator behaviour, or the entry
+#: format changes in a way that invalidates stored numbers.  Version 2
+#: added the per-entry integrity checksum (version-1 entries hash to
+#: different keys, so they are never read — just dead files).
+CACHE_VERSION = 2
+
+log = logging.getLogger("repro.experiments.cache")
 
 _MAX_DEPTH = 16
 
@@ -118,43 +130,91 @@ def prefetcher_fingerprint(prefetcher: Prefetcher) -> str:
                         _instance_state(prefetcher) or {}])
 
 
+def result_checksum(result_dict: dict) -> str:
+    """SHA-256 over the canonical JSON serialisation of a result payload."""
+    payload = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CorruptCacheEntry(ValueError):
+    """A cache file existed but failed parsing or checksum verification."""
+
+
 class ResultCache:
     """Directory-backed store of :class:`SimResult`s keyed by content hash."""
 
     def __init__(self, directory: str | Path = ".repro-cache") -> None:
         self.directory = Path(directory)
         self.results_dir = self.directory / "results"
+        self.quarantine_dir = self.directory / "quarantine"
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries quarantined by this cache instance.
+        self.corrupt = 0
+        #: Structured {key, path, reason} record per quarantined entry.
+        self.corrupt_events: list[dict] = []
 
     def _path_for(self, key: str) -> Path:
         return self.results_dir / f"{key}.json"
 
+    def _load_verified(self, path: Path) -> SimResult:
+        """Parse one entry, verifying its integrity checksum."""
+        with path.open() as fh:
+            data = json.load(fh)
+        stored = data["checksum"]
+        actual = result_checksum(data["result"])
+        if stored != actual:
+            raise CorruptCacheEntry(
+                f"checksum mismatch: stored {stored[:12]}…, "
+                f"payload hashes to {actual[:12]}…")
+        return SimResult.from_dict(data["result"])
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (counted, logged, kept for autopsy)."""
+        self.corrupt += 1
+        destination = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(destination)
+        except OSError:
+            path.unlink(missing_ok=True)
+            destination = None
+        event = {"key": key, "path": str(destination or path),
+                 "reason": reason}
+        self.corrupt_events.append(event)
+        log.warning("quarantined corrupt cache entry %s…: %s (moved to %s)",
+                    key[:12], reason, destination or "nowhere; deleted")
+
     def get(self, key: str) -> SimResult | None:
-        """The stored result for a key, or None (counts hit/miss)."""
+        """The stored, integrity-checked result for a key, or None.
+
+        Counts hits and misses; a corrupt entry is quarantined and
+        counted separately (``corrupt`` / ``corrupt_events``), then
+        reported as a miss so the job re-simulates.
+        """
         path = self._path_for(key)
         try:
-            with path.open() as fh:
-                data = json.load(fh)
-            result = SimResult.from_dict(data["result"])
+            result = self._load_verified(path)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (ValueError, KeyError, TypeError, OSError):
-            path.unlink(missing_ok=True)  # corrupt entry: drop and re-run
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            self._quarantine(key, path, f"{type(exc).__name__}: {exc}")
             self.misses += 1
             return None
         self.hits += 1
         return result
 
     def put(self, key: str, result: SimResult) -> None:
-        """Persist one result (atomic via rename)."""
+        """Persist one checksummed result (atomic via rename)."""
         path = self._path_for(key)
         tmp = path.with_suffix(".tmp")
+        result_dict = result.to_dict()
         with tmp.open("w") as fh:
             json.dump({"version": CACHE_VERSION, "key": key,
-                       "result": result.to_dict()}, fh)
+                       "checksum": result_checksum(result_dict),
+                       "result": result_dict}, fh)
         tmp.replace(path)
 
     def __len__(self) -> int:

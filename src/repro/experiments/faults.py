@@ -1,0 +1,297 @@
+"""Fault taxonomy and policy for the experiment engine.
+
+A campaign-scale sweep (125 traces × many configs) dies three ways: a
+worker hangs forever, a worker process dies and takes the pool with it,
+or a simulation raises deterministically.  Those are *different* faults
+and deserve different treatment:
+
+* **Transport failures** — the job never produced an answer because the
+  machinery failed (``BrokenProcessPool`` after a worker segfault/OOM
+  kill, a pickling error while shipping the job, a watchdog timeout).
+  Re-running the job can succeed, so the engine retries: pickling
+  failures run inline, pool crashes and timeouts retry on a fresh pool
+  with bounded exponential backoff.
+* **Deterministic failures** — ``simulate()`` itself raised in the
+  worker.  Re-running reproduces the same exception, so retrying is
+  waste and (worse) hides the bug.  These become structured
+  :class:`JobFailure` records carrying the original remote traceback;
+  the batch keeps going unless ``fail_fast`` is set.
+
+Classification keys off how :mod:`concurrent.futures` surfaces worker
+exceptions: an exception raised *inside* a worker is re-raised in the
+parent with a ``_RemoteTraceback`` chained as its ``__cause__`` whose
+formatted stack ran through the worker loop; feed-side pickling errors
+and pool bookkeeping failures carry no such stack (see
+:func:`has_remote_traceback`).
+
+The module also hosts the seedable **chaos injector** used by the chaos
+CI smoke job: with ``REPRO_CHAOS_SEED`` set, worker processes
+deterministically hang, crash, or raise on a job's *first* attempt
+(a file latch under ``REPRO_CHAOS_DIR`` arms each fault exactly once),
+which exercises every recovery path of the engine on an otherwise
+ordinary run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import time
+import traceback as traceback_module
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+log = logging.getLogger("repro.experiments.faults")
+
+#: JobFailure.kind values.
+KIND_RAISE = "raise"          # deterministic exception inside simulate()
+KIND_TIMEOUT = "timeout"      # watchdog deadline exceeded, retries exhausted
+KIND_POOL_CRASH = "pool-crash"  # worker/pool death, retries exhausted
+
+
+class JobTimeout(RuntimeError):
+    """A job exceeded the per-job wall-clock budget (watchdog kill)."""
+
+
+class BatchFailed(RuntimeError):
+    """A batch finished, but some jobs failed deterministically.
+
+    Raised *after* the batch ran to completion (every other job's result
+    is simulated, cached and journaled), so a rerun only re-executes the
+    failed jobs.  ``results`` aligns with the submitted job list
+    (``None`` in failed slots) and ``failures`` carries one
+    :class:`JobFailure` per failed job.
+    """
+
+    def __init__(self, failures: list["JobFailure"], results: list) -> None:
+        names = ", ".join(sorted({f.trace_name for f in failures}))
+        super().__init__(
+            f"{len(failures)} job(s) failed deterministically ({names}); "
+            "see .failures for tracebacks")
+        self.failures = failures
+        self.results = results
+
+
+class RunInterrupted(RuntimeError):
+    """A batch was stopped early (SIGINT/SIGTERM or ``request_stop``).
+
+    Every job that completed before the stop is already flushed to the
+    journal (and the result cache), so ``--resume <run_id>`` skips it.
+    """
+
+    def __init__(self, run_id: str | None, completed: int,
+                 remaining: int) -> None:
+        hint = f"; resume with --resume {run_id}" if run_id else ""
+        super().__init__(f"run interrupted: {completed} job(s) journaled, "
+                         f"{remaining} remaining{hint}")
+        self.run_id = run_id
+        self.completed = completed
+        self.remaining = remaining
+
+
+@dataclass
+class JobFailure:
+    """Structured record of one job that produced no result."""
+
+    index: int
+    key: str | None
+    trace_name: str
+    prefetcher_name: str
+    kind: str               # KIND_RAISE / KIND_TIMEOUT / KIND_POOL_CRASH
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "trace_name": self.trace_name,
+            "prefetcher_name": self.prefetcher_name,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobFailure":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def failure_from_exception(index: int, key: str | None, trace_name: str,
+                           prefetcher_name: str, kind: str, exc: BaseException,
+                           attempts: int = 1) -> JobFailure:
+    """Build a :class:`JobFailure`, preserving the *original* traceback.
+
+    For worker exceptions the remote traceback string chained by
+    ``concurrent.futures`` is used verbatim; for local exceptions the
+    normal formatted traceback is captured.
+    """
+    if has_remote_traceback(exc):
+        tb = str(exc.__cause__)
+    else:
+        tb = "".join(traceback_module.format_exception(
+            type(exc), exc, exc.__traceback__))
+    return JobFailure(index=index, key=key, trace_name=trace_name,
+                      prefetcher_name=prefetcher_name, kind=kind,
+                      error_type=type(exc).__name__, message=str(exc),
+                      traceback=tb, attempts=attempts)
+
+
+# --------------------------------------------------------------- classification
+
+def has_remote_traceback(exc: BaseException) -> bool:
+    """True when ``exc`` was raised *inside* a pool worker.
+
+    ``concurrent.futures`` re-raises worker exceptions in the parent with
+    a ``_RemoteTraceback`` instance chained as ``__cause__`` — but so
+    does the pool's feeder thread when the *job cannot be pickled*, and
+    that is a transport failure.  The two are told apart by where the
+    formatted traceback ran: an in-worker exception's stack always goes
+    through ``_process_worker``; a feed-side pickling error's stack never
+    does (it dies in ``multiprocessing.queues._feed`` in the parent).
+    """
+    cause = getattr(exc, "__cause__", None)
+    if cause is None or type(cause).__name__ != "_RemoteTraceback":
+        return False
+    return "_process_worker" in str(cause)
+
+
+def is_pool_failure(exc: BaseException) -> bool:
+    """The executor itself died (worker killed, pipe torn down)."""
+    return isinstance(exc, BrokenExecutor)
+
+
+def is_transport_failure(exc: BaseException) -> bool:
+    """The job never ran to completion for machinery reasons.
+
+    Pool deaths and local (pickling) failures are transport; an exception
+    with a remote traceback actually executed and is deterministic.
+    """
+    return is_pool_failure(exc) or not has_remote_traceback(exc)
+
+
+# ----------------------------------------------------------------- fault policy
+
+@dataclass
+class FaultPolicy:
+    """Retry/timeout budget governing one :class:`ExperimentEngine`.
+
+    ``sleep`` is injectable so tests can assert the backoff schedule
+    without waiting it out.
+    """
+
+    #: Per-job wall-clock budget in seconds, measured from when the job
+    #: starts on a worker (submission is windowed to pool size, so a
+    #: queued job's clock does not run).  ``None`` disables the watchdog.
+    job_timeout: float | None = None
+    #: Total attempts per job (first run + retries) for transport faults.
+    max_attempts: int = 3
+    #: Pool rebuilds allowed per batch before degrading the remainder to
+    #: in-process execution (loudly — the manifest records it).
+    max_pool_rebuilds: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    #: Raise the first failure immediately instead of recording it and
+    #: finishing the batch.
+    fail_fast: bool = False
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, rebuild_index: int) -> float:
+        """Sleep before the ``rebuild_index``-th pool rebuild (1-based)."""
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (rebuild_index - 1))
+
+
+# -------------------------------------------------------------- chaos injection
+#
+# The chaos injector lets CI (and tests) run an ordinary experiment
+# command while worker processes deterministically misbehave.  All knobs
+# are environment variables so no production call site changes:
+#
+#   REPRO_CHAOS_SEED          arm chaos; seeds the per-job fault draw
+#   REPRO_CHAOS_RATE          fraction of jobs faulted (default 0.25)
+#   REPRO_CHAOS_MODES         csv of hang,crash,raise (default hang,crash)
+#   REPRO_CHAOS_HANG_SECONDS  hang duration (default 30)
+#   REPRO_CHAOS_DIR           latch directory (default .repro-cache/chaos)
+#
+# Selection and mode are pure functions of (seed, job key), so two runs
+# of the same suite fault the same jobs the same way.  A file latch arms
+# each fault exactly once: the retried attempt runs clean, which is what
+# lets the chaos smoke job demand bit-identical final numbers.
+
+CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
+CHAOS_RATE_ENV = "REPRO_CHAOS_RATE"
+CHAOS_MODES_ENV = "REPRO_CHAOS_MODES"
+CHAOS_HANG_ENV = "REPRO_CHAOS_HANG_SECONDS"
+CHAOS_DIR_ENV = "REPRO_CHAOS_DIR"
+
+DEFAULT_CHAOS_MODES = ("hang", "crash")
+
+
+class ChaosError(RuntimeError):
+    """The deterministic exception the chaos injector raises."""
+
+
+def chaos_enabled() -> bool:
+    """Chaos is armed for this process (seed env var set)."""
+    return bool(os.environ.get(CHAOS_SEED_ENV))
+
+
+def chaos_plan(key: str) -> str | None:
+    """The fault mode drawn for this job key, or ``None`` (pure function)."""
+    seed = os.environ.get(CHAOS_SEED_ENV)
+    if not seed or not key:
+        return None
+    modes = [m.strip() for m in
+             os.environ.get(CHAOS_MODES_ENV,
+                            ",".join(DEFAULT_CHAOS_MODES)).split(",")
+             if m.strip()]
+    if not modes:
+        return None
+    rate = float(os.environ.get(CHAOS_RATE_ENV, "0.25"))
+    draw = int(hashlib.sha256(f"{seed}:{key}".encode()).hexdigest(), 16)
+    if (draw % 1_000_000) / 1_000_000 >= rate:
+        return None
+    return modes[(draw // 1_000_000) % len(modes)]
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_inject_chaos(key: str | None) -> None:
+    """Fire this job's planned fault once, if chaos is armed.
+
+    Only ever fires inside a pool worker (``os._exit`` in the parent
+    would kill the whole run), and only on the first attempt: the latch
+    file is created before the fault so every retry runs clean.
+    """
+    if key is None or not chaos_enabled() or not _in_worker_process():
+        return
+    mode = chaos_plan(key)
+    if mode is None:
+        return
+    latch_dir = Path(os.environ.get(CHAOS_DIR_ENV, ".repro-cache/chaos"))
+    latch_dir.mkdir(parents=True, exist_ok=True)
+    latch = latch_dir / f"{hashlib.sha256(key.encode()).hexdigest()[:32]}.fired"
+    try:
+        latch.touch(exist_ok=False)
+    except FileExistsError:
+        return  # already faulted once; run clean
+    log.warning("chaos: injecting %s for job %s", mode, key[:12])
+    if mode == "hang":
+        time.sleep(float(os.environ.get(CHAOS_HANG_ENV, "30")))
+    elif mode == "crash":
+        os._exit(139)
+    elif mode == "raise":
+        raise ChaosError(f"chaos: injected failure for job {key[:12]}")

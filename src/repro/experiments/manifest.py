@@ -45,6 +45,18 @@ class RunManifest:
     simulated: int = 0
     wall_seconds: float = 0.0
     cache_dir: str | None = None
+    # ---- fault tolerance (see repro.experiments.faults) ----
+    #: Journal id of this run; pass to ``--resume`` after an interrupt.
+    run_id: str | None = None
+    #: Jobs that ended as structured JobFailure records (tracebacks under
+    #: ``extra["fault_tolerance"]["failures"]``).
+    failed: int = 0
+    #: Job executions re-run after a transport fault (timeout/pool crash).
+    retried: int = 0
+    #: Watchdog deadline expiries.
+    timed_out: int = 0
+    #: Corrupt cache entries moved to quarantine during this run.
+    quarantined: int = 0
     extra: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:

@@ -25,6 +25,7 @@ from ..prefetchers.base import NoPrefetcher, Prefetcher
 from ..sim.multicore import multicore_speedup, simulate_multicore
 from ..sim.params import SystemConfig
 from ..sim.stats import geomean
+from .faults import is_transport_failure
 from .report import format_table
 
 PrefetcherFactory = Callable[[], Prefetcher]
@@ -112,8 +113,12 @@ def _run_trace_sets(trace_sets: Sequence[Sequence[Trace]],
 
     Returns ``{name: [per-set SimResult lists]}`` with the baseline under
     ``"baseline"``.  Tasks are independent, so with ``workers > 1`` the
-    whole Fig 13 grid fans out at once; a task that cannot be pickled
-    falls back to in-process execution.
+    whole Fig 13 grid fans out at once.  Only *transport* failures — a
+    task that cannot be pickled, or a pool that died under it — fall back
+    to in-process execution; a deterministic exception raised inside the
+    simulation propagates with its original worker traceback (silently
+    re-running it would reproduce the same error, slower, or worse, hide
+    a nondeterminism bug).
     """
     names = list(factories) + ["baseline"]
     tasks = [(set_index, name)
@@ -135,7 +140,9 @@ def _run_trace_sets(trace_sets: Sequence[Sequence[Trace]],
             for task, future in futures.items():
                 try:
                     results[task] = future.result()
-                except Exception:
+                except Exception as exc:
+                    if not is_transport_failure(exc):
+                        raise
                     retry.append(task)
         for task in retry:
             results[task] = simulate_multicore(list(trace_sets[task[0]]),

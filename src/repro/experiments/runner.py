@@ -13,6 +13,11 @@ two orthogonal capabilities:
 * ``cache=<dir>`` persists every result on disk keyed by a content hash of
   (trace stream, prefetcher state, full system config, warmup), so reruns
   of any experiment replay instantly and exactly.
+* fault tolerance: ``job_timeout`` arms the engine's watchdog,
+  ``fail_fast`` turns deterministic job failures from end-of-batch
+  :class:`BatchFailed` reports into immediate aborts, and ``journal``
+  attaches a :class:`~repro.experiments.journal.RunJournal` so an
+  interrupted run resumes with ``--resume <run-id>``.
 
 Batch entry points (:meth:`matrix`, :meth:`suite_comparison`,
 :meth:`nipc_sweep`, :meth:`nipc_grid`) flatten whole experiment matrices
@@ -35,6 +40,8 @@ from ..sim.params import SystemConfig
 from ..sim.stats import SimResult, geomean
 from .cache import ResultCache
 from .engine import ExperimentEngine, SimJob
+from .faults import FaultPolicy
+from .journal import RunJournal
 from .manifest import RunManifest
 
 PrefetcherFactory = Callable[[], Prefetcher]
@@ -66,6 +73,15 @@ class SuiteRunner:
     # globally by REPRO_CHECK_INVARIANTS=1).  The audit count lands in
     # the run manifest.
     check_invariants: bool = False
+    # Per-job wall-clock watchdog budget in seconds (parallel runs only;
+    # None disables).  Timed-out jobs retry on a fresh pool.
+    job_timeout: float | None = None
+    # Raise the first deterministic job failure immediately instead of
+    # finishing the batch and raising a BatchFailed summary.
+    fail_fast: bool = False
+    # Journal for crash-safe resume: a RunJournal instance, or a run
+    # directory root (a fresh run id is generated).  None disables.
+    journal: RunJournal | str | Path | None = None
 
     def __post_init__(self) -> None:
         self._traces: list[Trace] | None = None
@@ -75,7 +91,12 @@ class SuiteRunner:
         self._baselines: dict[str, list[SimResult]] = {}
         if isinstance(self.cache, (str, Path)):
             self.cache = ResultCache(self.cache)
-        self.engine = ExperimentEngine(workers=self.workers, cache=self.cache)
+        if isinstance(self.journal, (str, Path)):
+            self.journal = RunJournal(self.journal)
+        policy = FaultPolicy(job_timeout=self.job_timeout,
+                             fail_fast=self.fail_fast)
+        self.engine = ExperimentEngine(workers=self.workers, cache=self.cache,
+                                       policy=policy, journal=self.journal)
 
     @property
     def traces(self) -> list[Trace]:
@@ -218,6 +239,10 @@ class SuiteRunner:
         counters = self.engine.counters
         cache_dir = (str(self.cache.directory)
                      if isinstance(self.cache, ResultCache) else None)
+        quarantined = (self.cache.corrupt
+                       if isinstance(self.cache, ResultCache) else 0)
+        run_id = (self.journal.run_id
+                  if isinstance(self.journal, RunJournal) else None)
         return RunManifest(
             experiment=experiment,
             config_fingerprint=self.config.fingerprint(),
@@ -230,6 +255,11 @@ class SuiteRunner:
             simulated=counters.simulated,
             wall_seconds=counters.wall_seconds,
             cache_dir=cache_dir,
+            run_id=run_id,
+            failed=counters.failed,
+            retried=counters.retried,
+            timed_out=counters.timed_out,
+            quarantined=quarantined,
             extra=self._manifest_extra(counters),
         )
 
@@ -242,6 +272,17 @@ class SuiteRunner:
             # InvariantViolation (a violation aborts the run).
             extra["invariant_audit"] = {"simulations_audited": counters.audited,
                                         "violations": 0}
+        fault = {key: value for key, value in (
+            ("pool_rebuilds", counters.pool_rebuilds),
+            ("journal_replayed", counters.journal_replayed),
+            ("inline_fallbacks", counters.inline_fallbacks),
+        ) if value}
+        if self.engine.failures:
+            fault["failures"] = [f.to_dict() for f in self.engine.failures]
+        if isinstance(self.cache, ResultCache) and self.cache.corrupt_events:
+            fault["quarantine_events"] = list(self.cache.corrupt_events)
+        if fault:
+            extra["fault_tolerance"] = fault
         if counters.event_totals:
             extra["event_counters"] = {
                 kind: dict(per_component)

@@ -1,0 +1,113 @@
+"""Seedable chaos harness: prefetchers that misbehave on demand.
+
+Fault-injection counterpart to :mod:`repro.experiments.faults`: where the
+engine's env-knob injector (``REPRO_CHAOS_SEED``) faults *jobs* picked by
+hash draw, :class:`FaultyPrefetcher` puts the fault under direct test
+control — construct it with a mode and it fires exactly once, inside a
+pool worker, on the first demand access it sees.
+
+The once-only guarantee uses the same trick as the engine's injector: a
+file latch created with ``exist_ok=False`` *before* the fault fires, so
+a retried attempt (fresh worker, same latch directory) runs clean.  That
+is what lets every recovery test demand bit-identical results against an
+unfaulted run — the fault perturbs the machinery, never the simulation.
+
+Modes:
+
+* ``"none"``  — behave exactly like PMP (the clean reference),
+* ``"hang"``  — sleep past the watchdog budget (transport: timeout),
+* ``"crash"`` — ``os._exit(139)``, killing the worker and breaking the
+  pool (transport: pool crash),
+* ``"raise"`` — raise :class:`ChaosRaise` (deterministic failure).
+
+``only_in_worker`` (default on) suppresses the fault outside pool
+workers so an inline fallback or serial reference run can never hang or
+kill the test process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+from repro.prefetchers.pmp import PMP
+
+MODES = ("none", "hang", "crash", "raise")
+
+
+class ChaosRaise(RuntimeError):
+    """The deterministic exception ``mode="raise"`` throws."""
+
+
+def in_worker_process() -> bool:
+    """True inside a process-pool worker (it has a parent process)."""
+    return multiprocessing.parent_process() is not None
+
+
+class FaultyPrefetcher(PMP):
+    """A PMP that fires one configured fault on its first demand access.
+
+    Behaviourally identical to :class:`PMP` (the fault is a side effect,
+    not a policy change), so a faulted-then-recovered run must produce
+    the same :class:`SimResult`s as a ``mode="none"`` run.
+    """
+
+    def __init__(self, mode: str = "none", latch_dir: str | Path | None = None,
+                 hang_seconds: float = 30.0,
+                 only_in_worker: bool = True) -> None:
+        assert mode in MODES, mode
+        super().__init__()
+        self.mode = mode
+        self.latch_dir = str(latch_dir) if latch_dir is not None else None
+        self.hang_seconds = hang_seconds
+        self.only_in_worker = only_in_worker
+        self._checked = False
+
+    def _claim_latch(self) -> bool:
+        """Arm the fault at most once per latch directory (cross-process)."""
+        if self.latch_dir is None:
+            return True
+        latch_dir = Path(self.latch_dir)
+        latch_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            (latch_dir / f"{self.mode}.fired").touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        return True
+
+    def _maybe_fire(self) -> None:
+        if self.mode == "none":
+            return
+        if self.only_in_worker and not in_worker_process():
+            return
+        if not self._claim_latch():
+            return
+        if self.mode == "hang":
+            time.sleep(self.hang_seconds)
+        elif self.mode == "crash":
+            os._exit(139)
+        elif self.mode == "raise":
+            raise ChaosRaise(f"chaos: injected deterministic failure "
+                             f"({self.mode})")
+
+    def on_access(self, pc, address, cycle, hit, view):
+        if not self._checked:
+            self._checked = True
+            self._maybe_fire()
+        return super().on_access(pc, address, cycle, hit, view)
+
+
+def corrupt_cache_entry(path: Path, how: str = "flip-payload") -> None:
+    """Damage one cache entry file in a named, deterministic way."""
+    if how == "flip-payload":
+        # Valid JSON whose payload no longer matches its checksum.
+        text = path.read_text()
+        path.write_text(text.replace('"result": {', '"result": {"x": 1, ', 1))
+    elif how == "truncate":
+        path.write_bytes(path.read_bytes()[: max(1, path.stat().st_size // 2)])
+    elif how == "garbage":
+        path.write_text("{not json")
+    else:
+        raise ValueError(how)
