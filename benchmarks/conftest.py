@@ -18,6 +18,13 @@ from repro.experiments.single_core import run_single_core
 from repro.memtrace.workloads import quick_suite
 
 
+def pytest_collection_modifyitems(items):
+    # Everything under benchmarks/ measures, it does not gate correctness;
+    # the `bench` marker (registered in pyproject.toml) says so.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def pytest_addoption(parser):
     parser.addoption("--bench-accesses", type=int, default=20_000,
                      help="trace length for benchmark runs")

@@ -1,0 +1,47 @@
+"""Performance benchmark subsystem: micro/macro harnesses with a JSON gate.
+
+The ROADMAP's north star is a simulator that runs "as fast as the
+hardware allows"; this package is the measurement layer every
+performance claim is judged against.  It has three parts:
+
+* **Harness** (:mod:`repro.bench.harness`, :mod:`repro.bench.micro`,
+  :mod:`repro.bench.macro`) — timed micro benchmarks of the kernel's hot
+  paths (event dispatch, cache lookup/fill, fill-queue churn, PMP
+  counter-vector train/extract, trace decode) and a macro benchmark
+  (end-to-end ``simulate()`` accesses/sec over a pinned workload
+  sample), each with an optional cProfile top-N breakdown.
+* **Schema** (:mod:`repro.bench.schema`) — every harness run emits a
+  schema'd ``BENCH_<name>.json`` document carrying wall-clock numbers,
+  throughputs, per-phase profiles and an environment fingerprint, so
+  results are comparable across commits and machines.
+* **Gate** (:mod:`repro.bench.compare`) — ``repro bench --compare
+  BASELINE.json`` recomputes the same benchmarks and exits nonzero when
+  any throughput regressed more than the threshold; CI runs this
+  against a committed baseline so a hot-path regression fails the
+  build instead of landing silently.
+
+Run it with ``pmp-repro bench`` (or ``python -m repro bench``); see
+``pmp-repro bench --help`` and EXPERIMENTS.md for the workflow.
+"""
+
+from .compare import CompareResult, compare_docs, load_baseline
+from .harness import BenchRecord, environment_fingerprint, run_timed, write_bench_doc
+from .macro import MACRO_ACCESSES, run_macro
+from .micro import MICRO_BENCHMARKS, run_micro
+from .schema import BENCH_SCHEMA_VERSION, validate_bench
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchRecord",
+    "CompareResult",
+    "MACRO_ACCESSES",
+    "MICRO_BENCHMARKS",
+    "compare_docs",
+    "environment_fingerprint",
+    "load_baseline",
+    "run_macro",
+    "run_micro",
+    "run_timed",
+    "validate_bench",
+    "write_bench_doc",
+]

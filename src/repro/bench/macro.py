@@ -1,0 +1,54 @@
+"""Macro benchmark: end-to-end ``simulate()`` accesses/sec.
+
+The pinned workload sample is spec06-00 (the MCF-like quick-suite trace
+the golden fixtures also pin) driven through the default system with the
+PMP prefetcher — the configuration the paper's headline numbers and
+every scaling PR care about.  The sample is deterministic in
+(name, seed, accesses): its content hash and the simulation's final
+counters are recorded in the document's ``meta`` so a determinism drift
+is visible in the JSON itself, not just in a failing comparison.
+"""
+
+from __future__ import annotations
+
+from ..memtrace.trace import Trace
+from ..memtrace.workloads import full_suite
+from ..prefetchers.pmp import make_pmp
+from ..sim.engine import simulate
+from .harness import BenchRecord, measure
+
+MACRO_TRACE_NAME = "spec06-00"
+MACRO_ACCESSES = 12_000
+MACRO_SMOKE_ACCESSES = 4_000
+
+
+def build_macro_trace(accesses: int = MACRO_ACCESSES) -> Trace:
+    """Materialise the pinned macro workload sample."""
+    spec = next(s for s in full_suite() if s.name == MACRO_TRACE_NAME)
+    return spec.build(accesses)
+
+
+def run_macro(*, accesses: int = MACRO_ACCESSES, repeats: int = 3,
+              profile_n: int = 15) -> list[BenchRecord]:
+    """Measure simulate() throughput on the pinned sample (1 record)."""
+    trace = build_macro_trace(accesses)
+
+    def fn() -> None:
+        simulate(trace, make_pmp())
+
+    # One extra run outside the timed region pins the simulation's
+    # outcome: bit-identical code must reproduce these exact counters.
+    result = simulate(trace, make_pmp())
+    meta = {
+        "trace": MACRO_TRACE_NAME,
+        "accesses": accesses,
+        "prefetcher": "pmp",
+        "trace_content_hash": trace.content_hash(),
+        "result_instructions": result.instructions,
+        "result_cycles": result.cycles,
+        "result_ipc": round(result.ipc, 9),
+    }
+    record = measure("simulate_pmp", fn, number=1, repeats=repeats,
+                     ops_per_call=float(len(trace)), units="accesses/s",
+                     profile_n=profile_n, meta=meta)
+    return [record]

@@ -1,0 +1,120 @@
+"""The ``BENCH_<name>.json`` document schema and its validator.
+
+A bench document is self-describing: besides the numbers it pins the
+schema version (so readers can reject documents they do not understand)
+and an environment fingerprint (so a comparison against a baseline from
+different hardware is visibly apples-to-oranges).  The validator is
+hand-rolled — the container deliberately has no jsonschema dependency —
+and returns a list of human-readable problems instead of raising, so
+callers can report every defect at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+BENCH_SCHEMA_VERSION = 1
+
+# Document-level required fields and their types.
+_DOC_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "schema_version": int,
+    "name": str,
+    "kind": str,
+    "created_unix": (int, float),
+    "environment": dict,
+    "benchmarks": list,
+}
+
+_KINDS = ("micro", "macro")
+
+_ENV_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "python": str,
+    "implementation": str,
+    "platform": str,
+    "machine": str,
+    "cpu_count": int,
+    "git_sha": str,
+}
+
+_BENCH_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "name": str,
+    "repeats": int,
+    "number": int,
+    "per_repeat_seconds": list,
+    "wall_seconds": (int, float),
+    "throughput": (int, float),
+    "units": str,
+    "profile": list,
+    "meta": dict,
+}
+
+_PROFILE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "function": str,
+    "ncalls": int,
+    "tottime": (int, float),
+    "cumtime": (int, float),
+}
+
+
+def _check_fields(problems: list[str], where: str, data: Any,
+                  spec: dict[str, type | tuple[type, ...]]) -> bool:
+    if not isinstance(data, dict):
+        problems.append(f"{where}: expected an object, got {type(data).__name__}")
+        return False
+    ok = True
+    for field, types in spec.items():
+        if field not in data:
+            problems.append(f"{where}: missing required field {field!r}")
+            ok = False
+        elif not isinstance(data[field], types) or isinstance(data[field], bool):
+            problems.append(
+                f"{where}.{field}: expected {types}, got {type(data[field]).__name__}")
+            ok = False
+    return ok
+
+
+def validate_bench(doc: Any) -> list[str]:
+    """Validate one bench document; returns the list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not _check_fields(problems, "document", doc, _DOC_FIELDS):
+        return problems
+
+    if doc["schema_version"] != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"document.schema_version: expected {BENCH_SCHEMA_VERSION}, "
+            f"got {doc['schema_version']}")
+    if doc["kind"] not in _KINDS:
+        problems.append(f"document.kind: expected one of {_KINDS}, got {doc['kind']!r}")
+
+    _check_fields(problems, "environment", doc["environment"], _ENV_FIELDS)
+
+    if not doc["benchmarks"]:
+        problems.append("document.benchmarks: must contain at least one benchmark")
+    seen: set[str] = set()
+    for i, bench in enumerate(doc["benchmarks"]):
+        where = f"benchmarks[{i}]"
+        if not _check_fields(problems, where, bench, _BENCH_FIELDS):
+            continue
+        name = bench["name"]
+        if name in seen:
+            problems.append(f"{where}: duplicate benchmark name {name!r}")
+        seen.add(name)
+        if bench["repeats"] < 1:
+            problems.append(f"{where}.repeats: must be >= 1")
+        if bench["number"] < 1:
+            problems.append(f"{where}.number: must be >= 1")
+        if len(bench["per_repeat_seconds"]) != bench["repeats"]:
+            problems.append(
+                f"{where}.per_repeat_seconds: length "
+                f"{len(bench['per_repeat_seconds'])} != repeats {bench['repeats']}")
+        if any(not isinstance(s, (int, float)) or s < 0
+               for s in bench["per_repeat_seconds"]):
+            problems.append(f"{where}.per_repeat_seconds: entries must be "
+                            "non-negative numbers")
+        if bench["wall_seconds"] <= 0:
+            problems.append(f"{where}.wall_seconds: must be > 0")
+        if bench["throughput"] <= 0:
+            problems.append(f"{where}.throughput: must be > 0")
+        for j, row in enumerate(bench["profile"]):
+            _check_fields(problems, f"{where}.profile[{j}]", row, _PROFILE_FIELDS)
+    return problems

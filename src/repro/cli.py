@@ -12,6 +12,8 @@ Examples::
     pmp-repro run fig9 --cache-dir /tmp/pmp-cache
     pmp-repro fig8 --workers 8 --job-timeout 600   # watchdog stuck workers
     pmp-repro fig8 --resume run-20260806-101530-a1b2c3  # after an interrupt
+    pmp-repro bench                 # performance harness -> BENCH_*.json
+    pmp-repro bench --compare benchmarks/baselines/BENCH_micro.json
 
 Simulation-backed commands persist their results under ``--cache-dir``
 (default ``.repro-cache/``) keyed by a content hash of (trace, prefetcher
@@ -260,6 +262,11 @@ def main(argv: list[str] | None = None) -> int:
     # explicit verb exists for scripts/CI that drive the parallel engine.
     if argv and argv[0] == "run":
         argv = argv[1:]
+    # `pmp-repro bench ...` is the performance harness; it owns its own
+    # argument set (imported lazily so experiment runs never pay for it).
+    if argv and argv[0] == "bench":
+        from .bench.cli import bench_main
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="pmp-repro",
         description="Reproduce the PMP paper's tables and figures.")

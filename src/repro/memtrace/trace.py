@@ -124,10 +124,13 @@ class Trace:
         """Rebuild a trace from :meth:`to_arrays` output."""
         pcs, addrs, writes, gaps = arrays
         trace = cls(name=name, family=family, seed=seed)
+        # .tolist() converts to native ints in one C pass — much cheaper
+        # than a Python-level int()/bool() per element.
         trace.accesses = [
-            MemoryAccess(pc=int(pcs[i]), address=int(addrs[i]),
-                         is_write=bool(writes[i]), gap=int(gaps[i]))
-            for i in range(len(pcs))
+            MemoryAccess(pc=pc, address=address,
+                         is_write=bool(write), gap=gap)
+            for pc, address, write, gap in zip(
+                pcs.tolist(), addrs.tolist(), writes.tolist(), gaps.tolist())
         ]
         return trace
 

@@ -27,10 +27,9 @@ range (Table XI), and the low-level degree cap of PMP-Limit (V-D, Fig 13).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, replace
 
-from ..memtrace.access import hash_pc, lines_per_region, region_of
+from ..memtrace.access import hash_pc, lines_per_region
 from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
 from .sms import CapturedPattern, PatternCaptureFramework
 
@@ -87,15 +86,23 @@ class CounterVector:
     elements are halved — old records fade but their frequencies are
     (nearly) preserved, which is why AFE needs no retraining after a
     halving (Section IV-B footnote).
+
+    ``version`` counts mutations: extraction results are pure functions
+    of (counters, scheme), so :class:`PMP` memoises them per vector and
+    a version bump is what invalidates the memo.  ``merge`` walks only
+    the *set* bits of the incoming vector (captured patterns are sparse
+    — a handful of accessed offsets out of 64) instead of scanning every
+    counter position.
     """
 
-    __slots__ = ("counters", "max_value")
+    __slots__ = ("counters", "max_value", "version")
 
     def __init__(self, length: int, counter_bits: int) -> None:
         if counter_bits < 1:
             raise ValueError("counter_bits must be >= 1")
         self.counters = [0] * length
         self.max_value = (1 << counter_bits) - 1
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.counters)
@@ -109,11 +116,28 @@ class CounterVector:
         """Merge one anchored bit vector (bit 0 must be the trigger)."""
         counters = self.counters
         max_value = self.max_value
-        for i in range(len(counters)):
-            if anchored_bits >> i & 1 and counters[i] < max_value:
+        bits = anchored_bits & ((1 << len(counters)) - 1)
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            i = low.bit_length() - 1
+            if counters[i] < max_value:
                 counters[i] += 1
         if counters[0] >= max_value:
-            self.counters = [c >> 1 for c in counters]
+            self.decay()
+        self.version += 1
+
+    def decay(self) -> None:
+        """Halve every counter in place (time-counter saturation).
+
+        In place: the old implementation rebuilt the whole list on every
+        saturation, which both allocated on the training hot path and
+        silently orphaned any outstanding reference to ``counters``.
+        """
+        counters = self.counters
+        for i in range(len(counters)):
+            counters[i] >>= 1
+        self.version += 1
 
     def frequencies(self) -> list[float]:
         """counter / time-counter per offset (AFE confidences)."""
@@ -240,21 +264,24 @@ class PrefetchBuffer:
 
     def __init__(self, entries: int) -> None:
         self.entries = entries
-        self._data: OrderedDict[int, list[tuple[int, FillLevel]]] = OrderedDict()
+        # Plain dict as an LRU stack: insertion order is recency order.
+        self._data: dict[int, list[tuple[int, FillLevel]]] = {}
 
     def insert(self, region: int, targets: list[tuple[int, FillLevel]]) -> None:
         """Store a region's pending targets (LRU-evicting)."""
-        if region in self._data:
-            self._data.pop(region)
-        elif len(self._data) >= self.entries:
-            self._data.popitem(last=False)
-        self._data[region] = targets
+        data = self._data
+        if region in data:
+            del data[region]
+        elif len(data) >= self.entries:
+            del data[next(iter(data))]
+        data[region] = targets
 
     def pending(self, region: int) -> list[tuple[int, FillLevel]] | None:
         """Pending targets for a region (touches LRU), or None."""
-        targets = self._data.get(region)
+        data = self._data
+        targets = data.pop(region, None)
         if targets is not None:
-            self._data.move_to_end(region)
+            data[region] = targets  # re-insert at the MRU end
         return targets
 
     def consume(self, region: int, count: int) -> None:
@@ -277,13 +304,21 @@ class PrefetchBuffer:
         pending = self.pending(region)
         if not pending:
             return []
-        budget = {level: view.prefetch_headroom(level) for level in FillLevel}
+        # Headroom is queried lazily, per level actually pending: most
+        # patterns target one or two levels, and the PQ/MSHR probes were
+        # the profiler's top cost in this method when taken up front for
+        # all three.
+        budget: dict[FillLevel, int] = {}
+        headroom = view.prefetch_headroom
         requests: list[PrefetchRequest] = []
         consumed = 0
         for address, level in pending:
-            if budget[level] <= 0:
+            room = budget.get(level)
+            if room is None:
+                room = headroom(level)
+            if room <= 0:
                 break
-            budget[level] -= 1
+            budget[level] = room - 1
             requests.append(PrefetchRequest(address=address, level=level))
             consumed += 1
         self.consume(region, consumed)
@@ -316,6 +351,21 @@ class PMP(Prefetcher):
             self.combined = []
         self.pb = PrefetchBuffer(cfg.pb_entries)
         self.predictions = 0
+        # Extraction/arbitration memos, invalidated by vector versions:
+        # a table row only changes when a pattern merges into it, while
+        # triggers re-extract it far more often.  Entries are
+        # ``(version, pattern)`` per table row; the arbitration memo is
+        # keyed by the (OPT row, PPT row) pair with both versions.
+        self._opt_cache: list[tuple[int, dict[int, FillLevel]] | None] = \
+            [None] * len(self.opt)
+        self._ppt_cache: list[tuple[int, dict[int, FillLevel]] | None] = \
+            [None] * len(self.ppt)
+        self._combined_cache: list[tuple[int, dict[int, FillLevel]] | None] = \
+            [None] * len(self.combined)
+        self._arb_cache: dict[tuple[int, int],
+                              tuple[int, int, dict[int, FillLevel]]] = {}
+        # region_of() mask, precomputed for the per-access hooks.
+        self._region_mask = ~(cfg.region_bytes - 1)
 
     def _ppt_length(self) -> int:
         # The single-PPT ablation uses full-length vectors ("same size as
@@ -364,20 +414,51 @@ class PMP(Prefetcher):
             return extract_are(vector, cfg.t_l1d, cfg.t_l2c)
         raise ValueError(f"unknown extraction scheme {cfg.extraction!r}")
 
+    def _extract_cached(self, cache: list, table: list[CounterVector],
+                        index: int) -> dict[int, FillLevel]:
+        """Memoised extraction of one table row.
+
+        The returned pattern dict is shared across calls until the row's
+        next merge; consumers (:func:`arbitrate`, :meth:`_targets_for`)
+        treat patterns as read-only, so sharing is safe.
+        """
+        vector = table[index]
+        version = vector.version
+        cached = cache[index]
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        pattern = self._extract(vector)
+        cache[index] = (version, pattern)
+        return pattern
+
     def _predict(self, pc: int, trigger_offset: int) -> dict[int, FillLevel]:
         """Final anchored prefetch pattern for one trigger access."""
         cfg = self.config
         if cfg.structure == "combined":
             index = (self._opt_index(trigger_offset) << cfg.pc_bits) \
                 | self._ppt_index(pc)
-            return self._extract(self.combined[index])
+            return self._extract_cached(self._combined_cache, self.combined,
+                                        index)
         if cfg.structure == "opt":
-            return self._extract(self.opt[self._opt_index(trigger_offset)])
+            return self._extract_cached(self._opt_cache, self.opt,
+                                        self._opt_index(trigger_offset))
         if cfg.structure == "ppt":
-            return self._extract(self.ppt[self._ppt_index(pc)])
-        opt_pattern = self._extract(self.opt[self._opt_index(trigger_offset)])
-        ppt_pattern = self._extract(self.ppt[self._ppt_index(pc)])
-        return arbitrate(opt_pattern, ppt_pattern, cfg.monitoring_range)
+            return self._extract_cached(self._ppt_cache, self.ppt,
+                                        self._ppt_index(pc))
+        opt_index = self._opt_index(trigger_offset)
+        ppt_index = self._ppt_index(pc)
+        opt_version = self.opt[opt_index].version
+        ppt_version = self.ppt[ppt_index].version
+        key = (opt_index, ppt_index)
+        cached = self._arb_cache.get(key)
+        if cached is not None and cached[0] == opt_version \
+                and cached[1] == ppt_version:
+            return cached[2]
+        opt_pattern = self._extract_cached(self._opt_cache, self.opt, opt_index)
+        ppt_pattern = self._extract_cached(self._ppt_cache, self.ppt, ppt_index)
+        final = arbitrate(opt_pattern, ppt_pattern, cfg.monitoring_range)
+        self._arb_cache[key] = (opt_version, ppt_version, final)
+        return final
 
     def _targets_for(self, region: int, trigger_offset: int,
                      pattern: dict[int, FillLevel]) -> list[tuple[int, FillLevel]]:
@@ -418,7 +499,7 @@ class PMP(Prefetcher):
         is_trigger, offset, completed = self.capture.observe(pc, address)
         for pattern in completed:
             self._merge(pattern)
-        region = region_of(address, self.config.region_bytes)
+        region = address & self._region_mask
         if is_trigger:
             final_pattern = self._predict(pc, offset)
             if final_pattern:
@@ -428,8 +509,7 @@ class PMP(Prefetcher):
         return self._issue_from_pb(region, view)
 
     def on_evict(self, line_address: int) -> None:
-        pattern = self.capture.end_region(
-            region_of(line_address, self.config.region_bytes))
+        pattern = self.capture.end_region(line_address & self._region_mask)
         if pattern is not None:
             self._merge(pattern)
 

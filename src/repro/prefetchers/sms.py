@@ -18,10 +18,15 @@ records.  Bit vectors are Python ints (bit ``i`` = offset ``i`` accessed).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..memtrace.access import hash_pc, lines_per_region, offset_of, region_of
+from ..memtrace.access import (
+    CACHELINE_BITS,
+    hash_pc,
+    lines_per_region,
+    offset_of,
+    region_of,
+)
 from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
 
 
@@ -74,27 +79,33 @@ class SetAssociativeTable:
             raise ValueError("sets and ways must be positive")
         self.sets = sets
         self.ways = ways
-        self._data: list[OrderedDict[int, object]] = [OrderedDict() for _ in range(sets)]
+        # Plain dicts as LRU stacks (insertion order = recency order):
+        # cheaper probes than OrderedDict on the per-access capture path.
+        self._data: list[dict[int, object]] = [{} for _ in range(sets)]
 
-    def _set_for(self, key: int) -> OrderedDict[int, object]:
+    def _set_for(self, key: int) -> dict[int, object]:
         return self._data[(key >> 12) % self.sets]
 
     def get(self, key: int, *, touch: bool = True):
         """Fetch by key, touching LRU unless touch=False."""
-        entry_set = self._set_for(key)
-        value = entry_set.get(key)
-        if value is not None and touch:
-            entry_set.move_to_end(key)
+        entry_set = self._data[(key >> 12) % self.sets]
+        if not touch:
+            return entry_set.get(key)
+        value = entry_set.pop(key, None)
+        if value is not None:
+            entry_set[key] = value  # re-insert at the MRU end
         return value
 
     def insert(self, key: int, value) -> tuple[int, object] | None:
         """Insert; returns the (key, value) evicted for capacity, if any."""
         entry_set = self._set_for(key)
         victim = None
-        if key not in entry_set and len(entry_set) >= self.ways:
-            victim = entry_set.popitem(last=False)
+        if key in entry_set:
+            del entry_set[key]
+        elif len(entry_set) >= self.ways:
+            victim_key = next(iter(entry_set))
+            victim = (victim_key, entry_set.pop(victim_key))
         entry_set[key] = value
-        entry_set.move_to_end(key)
         return victim
 
     def pop(self, key: int):
@@ -131,6 +142,10 @@ class PatternCaptureFramework:
         self.pattern_length = lines_per_region(region_bytes)
         self.filter_table = SetAssociativeTable(ft_sets, ft_ways)
         self.accumulation_table = SetAssociativeTable(at_sets, at_ways)
+        # region_of/offset_of masks, precomputed: observe() runs once per
+        # trace access and the helper calls were measurable.
+        self._offset_mask = region_bytes - 1
+        self._region_mask = ~(region_bytes - 1)
 
     def observe(self, pc: int, address: int) -> tuple[bool, int, list[CapturedPattern]]:
         """Feed one L1D load.
@@ -140,8 +155,8 @@ class PatternCaptureFramework:
         (the access PMP predicts on) and ``completed`` holds patterns
         finished by capacity evictions this step.
         """
-        region = region_of(address, self.region_bytes)
-        offset = offset_of(address, self.region_bytes)
+        region = address & self._region_mask
+        offset = (address & self._offset_mask) >> CACHELINE_BITS
         completed: list[CapturedPattern] = []
 
         acc: _AccumulationEntry | None = self.accumulation_table.get(region)  # type: ignore[assignment]

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from collections import OrderedDict
 
 from .params import CacheParams
 
@@ -172,8 +171,12 @@ class Cache:
         self.name = name
         self.num_sets = params.num_sets
         self.ways = params.ways
-        self._sets: list[OrderedDict[int, CacheLine]] = [
-            OrderedDict() for _ in range(self.num_sets)]
+        # Plain dicts double as LRU stacks: insertion order is recency
+        # order (hits re-insert, the victim is the first key).  Probes on
+        # a plain dict are measurably cheaper than OrderedDict's on the
+        # per-access path.
+        self._sets: list[dict[int, CacheLine]] = [
+            {} for _ in range(self.num_sets)]
         self.stats = CacheStats()
         # Outstanding misses: line -> (completion cycle, is_prefetch).
         self._mshr: dict[int, tuple[float, bool]] = {}
@@ -184,17 +187,27 @@ class Cache:
         self._mshr_min = float("inf")
         # Fills whose data has not arrived yet, ordered by readiness.
         self.fills = FillQueue()
-        # In-flight prefetch-queue occupancy (entries free at issue time).
+        # In-flight prefetch-queue occupancy (entries free at issue time),
+        # kept as a min-heap so pruning pops expired entries instead of
+        # rebuilding the whole list on every headroom query.
         self._pq: list[float] = []
 
     # ------------------------------------------------------------- residency
 
-    def _set_for(self, line: int) -> OrderedDict[int, CacheLine]:
+    def _set_for(self, line: int) -> dict[int, CacheLine]:
         return self._sets[line % self.num_sets]
 
     def contains(self, line: int) -> bool:
         """Presence check with no LRU side effects."""
         return line in self._set_for(line)
+
+    def resident_or_pending(self, line: int) -> bool:
+        """True when the line is resident or its miss is outstanding.
+
+        One call instead of ``contains`` + ``mshr_pending`` — this is
+        the prefetch admission check, run per level per candidate.
+        """
+        return line in self._sets[line % self.num_sets] or line in self._mshr
 
     def probe(self, line: int) -> CacheLine | None:
         """Peek at a resident line without touching LRU."""
@@ -210,10 +223,10 @@ class Cache:
         so a prefetch resolves useful exactly once).
         """
         cache_set = self._sets[line % self.num_sets]
-        entry = cache_set.get(line)
+        entry = cache_set.pop(line, None)
         if entry is None:
             return False, False
-        cache_set.move_to_end(line)
+        cache_set[line] = entry  # re-insert at the MRU end
         if is_write:
             entry.dirty = True
         if entry.prefetched:
@@ -233,23 +246,39 @@ class Cache:
         the hottest allocation site in a miss-heavy run.
         """
         cache_set = self._sets[line % self.num_sets]
-        existing = cache_set.get(line)
+        existing = cache_set.pop(line, None)
         if existing is not None:
-            cache_set.move_to_end(line)
+            cache_set[line] = existing  # refresh recency
             return False, None, None
         victim = None
         victim_entry = None
         if len(cache_set) >= self.ways:
-            victim, victim_entry = cache_set.popitem(last=False)
+            victim = next(iter(cache_set))
+            victim_entry = cache_set.pop(victim)
         cache_set[line] = CacheLine(ready_cycle=cycle,
                                     prefetched=prefetched, dirty=is_write)
         return True, victim, victim_entry
 
     def schedule_fill(self, line: int, ready: float, *, prefetched: bool = False,
                       is_write: bool = False) -> None:
-        """Queue a fill to be applied when its data arrives."""
-        self.fills.push(PendingFill(
-            ready=ready, line=line, prefetched=prefetched, is_write=is_write))
+        """Queue a fill to be applied when its data arrives.
+
+        Inlines :meth:`FillQueue.push` (same invariants, same module):
+        every miss schedules one fill per level, making this one of the
+        hottest calls in a miss-heavy run.
+        """
+        fill = PendingFill(ready=ready, line=line, prefetched=prefetched,
+                           is_write=is_write)
+        fills = self.fills
+        seq = fills._seq
+        fills._seq = seq + 1
+        heapq.heappush(fills._heap, (ready, seq, fill))
+        by_line = fills._by_line
+        bucket = by_line.get(line)
+        if bucket is None:
+            by_line[line] = [fill]
+        else:
+            bucket.append(fill)
 
     def pop_ready_fills(self, cycle: float) -> list[PendingFill]:
         """Remove and return every pending fill whose data has arrived."""
@@ -310,7 +339,7 @@ class Cache:
                       is_prefetch: bool = False) -> None:
         """Track an outstanding miss; prunes completed entries when `now`
         is given so occupancy never grows stale."""
-        if now is not None:
+        if now is not None and now >= self._mshr_min:
             self.mshr_prune(now)
         self._mshr[line] = (completion, is_prefetch)
         if completion < self._mshr_min:
@@ -355,7 +384,8 @@ class Cache:
 
     def mshr_free(self, cycle: float) -> int:
         """Free MSHR slots at `cycle` (prunes completed entries)."""
-        self.mshr_prune(cycle)
+        if cycle >= self._mshr_min:
+            self.mshr_prune(cycle)
         return self._mshr_capacity - len(self._mshr)
 
     def mshr_has_room_for_prefetch(self, cycle: float) -> bool:
@@ -366,14 +396,17 @@ class Cache:
 
     def pq_prune(self, cycle: float) -> None:
         """Drop PQ entries whose issue window has passed."""
-        if self._pq:
-            self._pq = [when for when in self._pq if when > cycle]
+        pq = self._pq
+        while pq and pq[0] <= cycle:
+            heapq.heappop(pq)
 
     def pq_free(self, cycle: float) -> int:
-        """Free prefetch-queue slots at `cycle`."""
-        self.pq_prune(cycle)
-        return max(0, self.params.pq_entries - len(self._pq))
+        """Free prefetch-queue slots at `cycle` (inlines :meth:`pq_prune`)."""
+        pq = self._pq
+        while pq and pq[0] <= cycle:
+            heapq.heappop(pq)
+        return max(0, self.params.pq_entries - len(pq))
 
     def pq_push(self, completion: float) -> None:
         """Occupy one PQ slot until `completion`."""
-        self._pq.append(completion)
+        heapq.heappush(self._pq, completion)

@@ -52,10 +52,30 @@ class Core:
             inflight.popleft()
 
     def begin_load(self) -> float:
-        """Account for window stalls; returns the cycle the load issues at."""
-        self._drain_completed()
-        self._stall_for_window()
-        return self.cycle
+        """Account for window stalls; returns the cycle the load issues at.
+
+        Inlines :meth:`_drain_completed` and :meth:`_stall_for_window`
+        (kept for tests and :meth:`drain`): this runs once per trace
+        access and the two extra calls were measurable.
+        """
+        inflight = self._inflight
+        cycle = self.cycle
+        while inflight and inflight[0][1] <= cycle:
+            inflight.popleft()
+        params = self.params
+        lq_entries = params.lq_entries
+        rob_entries = params.rob_entries
+        instructions = self.instructions
+        while inflight:
+            oldest_index, oldest_done = inflight[0]
+            if (len(inflight) < lq_entries
+                    and instructions - oldest_index < rob_entries):
+                break
+            if oldest_done > cycle:
+                cycle = oldest_done
+            inflight.popleft()
+        self.cycle = cycle
+        return cycle
 
     def finish_load(self, latency: float) -> None:
         """Record an issued load's completion and retire it (1 instruction)."""

@@ -60,6 +60,17 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     measured_start_instr = 0
     measured_start_cycle = 0.0
 
+    # Bound methods hoisted out of the per-access loop: the loop body is
+    # the whole-simulation hot path and each lookup otherwise costs an
+    # attribute resolution per access.
+    advance = core.advance
+    begin_load = core.begin_load
+    finish_load = core.finish_load
+    set_view_cycle = hierarchy.set_view_cycle
+    demand_access = hierarchy.demand_access
+    issue_prefetch = hierarchy.issue_prefetch
+    on_access = prefetcher.on_access
+
     for index, access in enumerate(trace.accesses):
         if index == warmup_end:
             hierarchy.reset_stats()
@@ -71,17 +82,17 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
             measured_start_cycle = core.cycle
 
         if access.gap:
-            core.advance(access.gap)
-        issue_cycle = core.begin_load()
-        hierarchy.set_view_cycle(issue_cycle)
-        latency, l1_hit = hierarchy.demand_access(access.address, issue_cycle,
-                                                  access.is_write)
-        core.finish_load(latency)
+            advance(access.gap)
+        issue_cycle = begin_load()
+        set_view_cycle(issue_cycle)
+        latency, l1_hit = demand_access(access.address, issue_cycle,
+                                        access.is_write)
+        finish_load(latency)
 
-        requests = prefetcher.on_access(access.pc, access.address,
-                                        issue_cycle, l1_hit, hierarchy)
+        requests = on_access(access.pc, access.address,
+                             issue_cycle, l1_hit, hierarchy)
         for request in requests:
-            hierarchy.issue_prefetch(request, issue_cycle)
+            issue_prefetch(request, issue_cycle)
         if auditor is not None:
             auditor.checkpoint(issue_cycle)
 

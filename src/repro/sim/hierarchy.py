@@ -32,7 +32,7 @@ from ..prefetchers.base import FillLevel, PrefetchRequest, Prefetcher
 from .cache import Cache, CacheLine, CacheStats
 from .dram import Dram, DramPort
 from .events import EventBus, PrefetchDropped, PrefetchIssued
-from .level import CacheLevel, MemTransaction, PREFETCH
+from .level import CacheLevel, MemTransaction
 from .observers import (
     LevelStatsObserver,
     PrefetchAccounting,
@@ -112,10 +112,24 @@ class Hierarchy:
         # precede private-level fills (prebuilt — `_sync` runs per access).
         self._sync_order: tuple[CacheLevel, ...] = (llc_level, l2c_level,
                                                     l1d_level)
+        # (level, fill-heap) pairs for the per-access sync peek — the
+        # FillQueue never reassigns its heap list, so the pairs are
+        # stable for the hierarchy's lifetime.
+        self._sync_pairs: tuple[tuple[CacheLevel, list], ...] = tuple(
+            (level, level.storage.fills._heap) for level in self._sync_order)
         self.l1d = l1d_level.storage
         self.l2c = l2c_level.storage
         self.llc = llc_level.storage
         shared_llc.register(self.l1d, self.l2c)
+
+        # Pooled transient transaction and prefetch events (fields
+        # rewritten per use — same contract as the CacheLevel event pool;
+        # nothing downstream retains them past its own return).
+        self._demand_txn = MemTransaction(address=0, line=0)
+        self._ev_issued = PrefetchIssued(FillLevel.L1D, 0, 0, 0.0)
+        self._ev_dropped = PrefetchDropped(FillLevel.L1D, 0, "", 0.0)
+        self._issued_handlers = self.bus.handlers(PrefetchIssued)
+        self._dropped_handlers = self.bus.handlers(PrefetchDropped)
 
         # This core's view of the shared LLC counters: LLC events from
         # *this* hierarchy's accesses increment both the shared storage
@@ -166,8 +180,7 @@ class Hierarchy:
         access and almost always finds nothing ready, so the common case
         must not cost a method call per level.
         """
-        for level in self._sync_order:
-            heap = level.storage.fills._heap
+        for level, heap in self._sync_pairs:
             if heap and heap[0][0] <= cycle:
                 level.sync(cycle)
 
@@ -190,18 +203,24 @@ class Hierarchy:
         Runs bottom-up (L2C before L1D on an LLC hit); only the L1D copy
         carries the demand's write intent.
         """
-        if depth == 0:
-            return
-        for level in self.levels[:depth][::-1]:
-            level.fill(txn.line, ready, cycle,
-                       is_write=txn.is_write and level is self.levels[0])
+        levels = self.levels
+        is_write = txn.is_write
+        for i in range(depth - 1, -1, -1):
+            levels[i].fill(txn.line, ready, cycle,
+                           is_write=is_write and i == 0)
 
     def demand_access(self, address: int, cycle: float,
                       is_write: bool = False) -> tuple[float, bool]:
         """Serve one demand access. Returns (total latency, L1D hit)."""
-        self._sync(cycle)
-        txn = MemTransaction(address=address, line=address >> CACHELINE_BITS,
-                             is_write=is_write, issue_cycle=cycle)
+        for level, heap in self._sync_pairs:  # inline _sync (hot path)
+            if heap and heap[0][0] <= cycle:
+                level.sync(cycle)
+        txn = self._demand_txn
+        txn.address = address
+        txn.line = address >> CACHELINE_BITS
+        txn.is_write = is_write
+        txn.issue_cycle = cycle
+        txn.latency = 0.0
 
         for depth, level in enumerate(self.levels):
             if level.lookup(txn, cycle + txn.latency):
@@ -248,59 +267,76 @@ class Hierarchy:
         no spare MSHR) mirror the hardware conditions the paper describes;
         each publishes a :class:`PrefetchDropped` with its reason.
         """
-        self._sync(cycle)
-        txn = MemTransaction(address=request.address,
-                             line=request.address >> CACHELINE_BITS,
-                             origin=PREFETCH, target=request.level,
-                             issue_cycle=cycle)
-        depth = request.level - FillLevel.L1D
-        target = self.levels[depth]
+        for level, heap in self._sync_pairs:  # inline _sync (hot path)
+            if heap and heap[0][0] <= cycle:
+                level.sync(cycle)
+        address = request.address
+        line = address >> CACHELINE_BITS
+        level_id = request.level
+        levels = self.levels
+        depth = level_id - FillLevel.L1D
+        target = levels[depth]
 
-        reason = self._admission_reject(txn, target, depth, cycle)
+        reason = self._admission_reject(line, target, depth, cycle)
         if reason is not None:
-            self.bus.publish(PrefetchDropped(request.level, txn.line,
-                                             reason, cycle))
+            ev = self._ev_dropped
+            ev.level = level_id
+            ev.line = line
+            ev.reason = reason
+            ev.cycle = cycle
+            for handler in self._dropped_handlers:
+                handler(ev)
             return False
 
-        llc = self.levels[-1]
-        if llc.storage.contains(txn.line) and target is not llc:
+        llc = levels[-1]
+        llc_storage = llc.storage
+        # Fills below never change LLC residency, so one probe serves
+        # both the latency decision and the fill loop.
+        llc_resident = llc_storage.contains(line)
+        if llc_resident and target is not llc:
             # On-chip move: promote from the LLC without DRAM traffic.
             ready = cycle + llc.hit_latency
         else:
-            llc_pending = llc.storage.mshr_pending(txn.line)
+            llc_pending = llc_storage.mshr_pending(line)
             if llc_pending is not None:
                 # Piggy-back on the fetch already in flight.
                 ready = llc_pending
             else:
                 arrival = cycle + llc.hit_latency
-                ready = self.dram_port.request(txn.line, arrival,
+                ready = self.dram_port.request(line, arrival,
                                                is_prefetch=True)
-            target.storage.mshr_allocate(txn.line, ready, now=cycle,
+            target.storage.mshr_allocate(line, ready, now=cycle,
                                          is_prefetch=True)
 
         # The target level gets the prefetched bit; every level below it
         # is filled too (inclusive path), the LLC only when absent.
-        for level in self.levels[depth:]:
+        for i in range(depth, len(levels)):
+            level = levels[i]
             if level is llc and level is not target:
-                if not llc.storage.contains(txn.line):
-                    level.fill(txn.line, ready, cycle)
+                if not llc_resident:
+                    level.fill(line, ready, cycle)
             else:
-                level.fill(txn.line, ready, cycle,
+                level.fill(line, ready, cycle,
                            prefetched=level is target)
 
         # A PQ entry holds the request only until it is handed to the
         # memory system (ChampSim semantics), not until the fill lands.
         target.storage.pq_push(cycle + target.hit_latency)
-        self.bus.publish(PrefetchIssued(request.level, txn.line,
-                                        request.address, cycle))
+        ev = self._ev_issued
+        ev.level = level_id
+        ev.line = line
+        ev.address = address
+        ev.cycle = cycle
+        for handler in self._issued_handlers:
+            handler(ev)
         return True
 
-    def _admission_reject(self, txn: MemTransaction, target: CacheLevel,
+    def _admission_reject(self, line: int, target: CacheLevel,
                           depth: int, cycle: float) -> str | None:
         """First failing admission check for a prefetch, if any."""
-        for level in self.levels[:depth + 1]:
-            if (level.storage.contains(txn.line)
-                    or level.storage.mshr_pending(txn.line) is not None):
+        levels = self.levels
+        for i in range(depth + 1):
+            if levels[i].storage.resident_or_pending(line):
                 return "resident"
         if target.storage.pq_free(cycle) <= 0:
             return "pq_full"

@@ -154,10 +154,11 @@ class CacheLevel:
         it useful-but-late; the MSHR entry and the pending fill are
         demoted to demand so the arriving fill is not counted again.
         """
-        pending = self.storage.mshr_pending(txn.line)
-        if pending is None:
+        entry = self.storage._mshr.get(txn.line)
+        if entry is None:
             return None
-        if self.storage.mshr_is_prefetch(txn.line):
+        pending, is_prefetch = entry
+        if is_prefetch:
             self._publish_useful(txn.line, txn.address, True, cycle)
             self.storage.mshr_allocate(txn.line, pending, is_prefetch=False)
             self.storage.fills.strip_prefetch_flag(txn.line)
@@ -179,6 +180,8 @@ class CacheLevel:
         if not heap or heap[0][0] > cycle:
             return
         by_line = fills._by_line
+        mshr_release = storage.mshr_release
+        apply_fill = self.apply_fill
         while heap and heap[0][0] <= cycle:
             fill = heappop(heap)[2]
             if fill.canceled:
@@ -189,9 +192,9 @@ class CacheLevel:
                 del by_line[line]
             else:
                 bucket.remove(fill)
-            storage.mshr_release(line)
-            self.apply_fill(line, fill.ready, prefetched=fill.prefetched,
-                            is_write=fill.is_write)
+            mshr_release(line)
+            apply_fill(line, fill.ready, prefetched=fill.prefetched,
+                       is_write=fill.is_write)
 
     def fill(self, line: int, ready: float, cycle: float, *,
              prefetched: bool = False, is_write: bool = False) -> None:

@@ -60,6 +60,12 @@ class LevelStatsObserver:
                  llc_mirror: CacheStats | None = None) -> None:
         self._stats = stats_by_level
         self._llc_mirror = llc_mirror
+        # Routing table: level -> (stats, mirror-or-None).  Only LLC
+        # events carry a mirror; resolving that per subscription instead
+        # of per event keeps each handler to one dict probe.
+        self._routes: dict[FillLevel, tuple[CacheStats, CacheStats | None]] = {
+            level: (stats, llc_mirror if level is FillLevel.LLC else None)
+            for level, stats in stats_by_level.items()}
         bus.subscribe(CacheAccess, self._on_access)
         bus.subscribe(PrefetchFill, self._on_fill)
         bus.subscribe(PrefetchUseful, self._on_useful)
@@ -71,13 +77,12 @@ class LevelStatsObserver:
         return self._llc_mirror if level is FillLevel.LLC else None
 
     def _on_access(self, event: CacheAccess) -> None:
-        stats = self._stats[event.level]
+        stats, mirror = self._routes[event.level]
         stats.demand_accesses += 1
         if event.hit:
             stats.demand_hits += 1
         else:
             stats.demand_misses += 1
-        mirror = self._mirror_for(event.level)
         if mirror is not None:
             mirror.demand_accesses += 1
             if event.hit:
@@ -86,31 +91,30 @@ class LevelStatsObserver:
                 mirror.demand_misses += 1
 
     def _on_fill(self, event: PrefetchFill) -> None:
-        self._stats[event.level].prefetch_fills += 1
-        mirror = self._mirror_for(event.level)
+        stats, mirror = self._routes[event.level]
+        stats.prefetch_fills += 1
         if mirror is not None:
             mirror.prefetch_fills += 1
 
     def _on_useful(self, event: PrefetchUseful) -> None:
-        stats = self._stats[event.level]
+        stats, mirror = self._routes[event.level]
         stats.useful_prefetches += 1
         if event.late:
             stats.late_prefetch_hits += 1
-        mirror = self._mirror_for(event.level)
         if mirror is not None:
             mirror.useful_prefetches += 1
             if event.late:
                 mirror.late_prefetch_hits += 1
 
     def _on_useless(self, event: PrefetchUseless) -> None:
-        self._stats[event.level].useless_prefetches += 1
-        mirror = self._mirror_for(event.level)
+        stats, mirror = self._routes[event.level]
+        stats.useless_prefetches += 1
         if mirror is not None:
             mirror.useless_prefetches += 1
 
     def _on_eviction(self, event: Eviction) -> None:
-        self._stats[event.level].evictions += 1
-        mirror = self._mirror_for(event.level)
+        stats, mirror = self._routes[event.level]
+        stats.evictions += 1
         if mirror is not None:
             mirror.evictions += 1
 

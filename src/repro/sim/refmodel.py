@@ -222,3 +222,41 @@ class RefModel:
         for cache_set in self.levels[index].sets:
             merged.update(cache_set)
         return merged
+
+
+class RefCounterVector:
+    """Naive reference for :class:`~repro.prefetchers.pmp.CounterVector`.
+
+    Same semantics, none of the optimisations: ``merge`` scans every
+    counter position (instead of iterating only the set bits of the
+    incoming vector) and ``decay`` rebuilds the list (the shape of the
+    original implementation, before the in-place fix).
+    ``tests/test_perf_equivalence.py`` drives both implementations with
+    identical merge sequences and asserts the counters stay
+    bit-identical, so a bug in the set-bit walk or the in-place halving
+    cannot hide behind plausible-looking saturating counters.
+    """
+
+    def __init__(self, length: int, counter_bits: int) -> None:
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be >= 1")
+        self.counters = [0] * length
+        self.max_value = (1 << counter_bits) - 1
+
+    def merge(self, anchored_bits: int) -> None:
+        """Merge one anchored bit vector, position by position."""
+        for i in range(len(self.counters)):
+            if anchored_bits >> i & 1 and self.counters[i] < self.max_value:
+                self.counters[i] += 1
+        if self.counters[0] >= self.max_value:
+            self.decay()
+
+    def decay(self) -> None:
+        """Halve every counter (list rebuild, the pre-fix shape)."""
+        self.counters = [c >> 1 for c in self.counters]
+
+    def frequencies(self) -> list[float]:
+        time = self.counters[0]
+        if time == 0:
+            return [0.0] * len(self.counters)
+        return [c / time for c in self.counters]

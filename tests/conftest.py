@@ -1,0 +1,15 @@
+"""Marker policy for the tier-1 suite (see docs/architecture.md).
+
+Every test under ``tests/`` is the tier-1 correctness gate, so the
+``tier1`` marker is applied automatically rather than hand-maintained
+per test.  ``slow`` is opt-in per test (subprocess end-to-end drills)
+and composes with tier1: CI runs everything, local iteration can
+``-m 'not slow'``.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.tier1)

@@ -159,6 +159,7 @@ class TestInterruptAndResume:
             assert result_dicts(matrix[name]) == result_dicts(clean[name])
         reopened.close()
 
+    @pytest.mark.slow
     def test_cli_sigint_then_resume_reproduces_clean_run(self, tmp_path):
         """Kill a real `pmp-repro` mid-suite; --resume matches a clean run."""
         env = {**os.environ, "PYTHONPATH": "src"}

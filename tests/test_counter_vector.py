@@ -81,6 +81,43 @@ class TestHalving:
         assert vector.counters == [1, 0, 0, 0]
 
 
+class TestInPlaceDecay:
+    """Regression: decay() used to rebuild the counters list, silently
+    orphaning any outstanding reference and allocating on the training
+    hot path.  It must now halve the existing list in place."""
+
+    def test_decay_mutates_the_list_in_place(self):
+        vector = make_vector([6, 4, 1, 0], bits=3)
+        alias = vector.counters
+        vector.decay()
+        assert vector.counters is alias
+        assert alias == [3, 2, 0, 0]
+
+    def test_outstanding_reference_survives_a_halving_merge(self):
+        vector = CounterVector(4, 3)  # max 7
+        alias = vector.counters
+        for _ in range(7):  # seventh merge saturates the time counter
+            vector.merge(0b0011)
+        assert vector.counters is alias
+        assert alias == [3, 3, 0, 0]
+
+    def test_merge_exactly_at_saturation_boundary_halves_once(self):
+        # Time counter one below max, another counter already saturated:
+        # the merge pushes time to max and the halving covers both.
+        vector = CounterVector(4, 3)  # max 7
+        vector.counters = [6, 7, 0, 0]
+        vector.merge(0b0011)
+        assert vector.counters == [3, 3, 0, 0]
+
+    def test_decay_bumps_the_version(self):
+        # The extraction memos key on `version`; a decay that left it
+        # stale would serve patterns for the pre-halving counters.
+        vector = make_vector([6, 4, 1, 0], bits=3)
+        before = vector.version
+        vector.decay()
+        assert vector.version > before
+
+
 class TestDerived:
     def test_frequencies_divide_by_time_counter(self):
         vector = make_vector([4, 2, 0, 1])

@@ -1,0 +1,221 @@
+"""Differential tests: the optimized hot paths vs naive references.
+
+The profiling-guided optimization pass rewrote the kernel's hottest
+loops — set-bit iteration in :meth:`CounterVector.merge`, in-place
+halving, version-stamped extraction/arbitration memos in PMP, and
+plain-dict LRU stacks in the capture tables and prefetch buffer.  Each
+rewrite must be *semantically invisible*: these tests drive the
+optimized implementation and a deliberately boring reference with
+identical randomized inputs and assert bit-identical outputs.  (The
+demand path's equivalent is ``tests/test_differential.py``, which runs
+the event kernel against :class:`repro.sim.refmodel.RefModel`.)
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetchers.pmp import (
+    PMP,
+    PMPConfig,
+    CounterVector,
+    PrefetchBuffer,
+    arbitrate,
+)
+from repro.prefetchers.sms import CapturedPattern, SetAssociativeTable
+from repro.sim.refmodel import RefCounterVector
+
+
+# ------------------------------------------------------- counter vectors
+
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=4, max_value=16),
+       st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1),
+                min_size=1, max_size=60))
+def test_counter_vector_matches_reference(bits, length, merges):
+    """Set-bit-walk merge + in-place decay == naive per-position loop."""
+    fast = CounterVector(length, bits)
+    ref = RefCounterVector(length, bits)
+    for raw in merges:
+        anchored = (raw | 1) & ((1 << length) - 1)  # trigger bit always set
+        fast.merge(anchored)
+        ref.merge(anchored)
+        assert fast.counters == ref.counters
+        assert fast.frequencies() == ref.frequencies()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=40))
+def test_version_changes_on_every_merge(merges):
+    """The memo key: any mutation must be visible in ``version``."""
+    vector = CounterVector(8, 4)
+    seen = {vector.version}
+    for raw in merges:
+        vector.merge(raw | 1)
+        assert vector.version not in seen, "merge left the version stale"
+        seen.add(vector.version)
+
+
+# ------------------------------------------------------------ prediction
+
+def _fresh_predict(pmp: PMP, pc: int, trigger_offset: int):
+    """What ``_predict`` must return, computed with no memo at all."""
+    cfg = pmp.config
+    if cfg.structure == "combined":
+        index = (pmp._opt_index(trigger_offset) << cfg.pc_bits) \
+            | pmp._ppt_index(pc)
+        return pmp._extract(pmp.combined[index])
+    if cfg.structure == "opt":
+        return pmp._extract(pmp.opt[pmp._opt_index(trigger_offset)])
+    if cfg.structure == "ppt":
+        return pmp._extract(pmp.ppt[pmp._ppt_index(pc)])
+    opt_pattern = pmp._extract(pmp.opt[pmp._opt_index(trigger_offset)])
+    ppt_pattern = pmp._extract(pmp.ppt[pmp._ppt_index(pc)])
+    return arbitrate(opt_pattern, ppt_pattern, cfg.monitoring_range)
+
+
+def _pattern(pmp: PMP, pc: int, trigger: int, bits: int) -> CapturedPattern:
+    length = pmp.config.pattern_length
+    trigger %= length
+    bit_vector = ((bits & ((1 << length) - 1)) | (1 << trigger))
+    return CapturedPattern(region=0, pc=pc, trigger_offset=trigger,
+                           bit_vector=bit_vector, length=length)
+
+
+# Small pc/trigger domains so trains and predicts collide often — memo
+# hits, memo invalidations and cold misses all occur in most examples.
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["train", "predict"]),
+              st.integers(min_value=0, max_value=7),
+              st.integers(min_value=0, max_value=15),
+              st.integers(min_value=0, max_value=(1 << 16) - 1)),
+    min_size=1, max_size=80)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS, st.sampled_from(["dual", "opt", "ppt", "combined"]))
+def test_memoised_predict_matches_fresh_extraction(ops, structure):
+    """Version-stamped extraction/arbitration memos never serve stale
+    patterns, under arbitrary train/predict interleavings."""
+    pmp = PMP(PMPConfig(region_bytes=1024, structure=structure))
+    for op, pc, trigger, bits in ops:
+        if op == "train":
+            pmp._merge(_pattern(pmp, pc, trigger, bits))
+        else:
+            assert pmp._predict(pc, trigger) == _fresh_predict(pmp, pc, trigger)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS)
+def test_predict_memo_invalidates_after_merge(ops):
+    """Back-to-back predicts agree before and after each training merge."""
+    pmp = PMP(PMPConfig(region_bytes=1024))
+    for op, pc, trigger, bits in ops:
+        before = pmp._predict(pc, trigger)
+        assert pmp._predict(pc, trigger) == before  # memo hit is stable
+        if op == "train":
+            pmp._merge(_pattern(pmp, pc, trigger, bits))
+            assert pmp._predict(pc, trigger) == _fresh_predict(pmp, pc, trigger)
+
+
+# -------------------------------------------------------- dict-LRU stacks
+
+class _RefLRUTable:
+    """OrderedDict reference for :class:`SetAssociativeTable`."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = sets
+        self.ways = ways
+        self._data = [OrderedDict() for _ in range(sets)]
+
+    def _set_for(self, key):
+        return self._data[(key >> 12) % self.sets]
+
+    def get(self, key, *, touch=True):
+        entry_set = self._set_for(key)
+        value = entry_set.get(key)
+        if value is not None and touch:
+            entry_set.move_to_end(key)
+        return value
+
+    def insert(self, key, value):
+        entry_set = self._set_for(key)
+        victim = None
+        if key in entry_set:
+            del entry_set[key]
+        elif len(entry_set) >= self.ways:
+            victim = entry_set.popitem(last=False)
+        entry_set[key] = value
+        return victim
+
+    def pop(self, key):
+        return self._set_for(key).pop(key, None)
+
+    def contents(self):
+        """Per-set (key, value) rows in LRU→MRU order."""
+        return [list(s.items()) for s in self._data]
+
+
+_TABLE_OPS = st.lists(
+    st.tuples(st.sampled_from(["insert", "get", "peek", "pop"]),
+              st.integers(min_value=0, max_value=23)),
+    min_size=1, max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_TABLE_OPS, st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=4))
+def test_set_associative_table_matches_ordereddict(ops, sets, ways):
+    """Plain-dict LRU stacks == OrderedDict: hits, victims and order."""
+    fast = SetAssociativeTable(sets, ways)
+    ref = _RefLRUTable(sets, ways)
+    for i, (op, raw_key) in enumerate(ops):
+        key = raw_key << 12  # spread across the >>12 set hash
+        if op == "insert":
+            assert fast.insert(key, i) == ref.insert(key, i)
+        elif op == "get":
+            assert fast.get(key) == ref.get(key)
+        elif op == "peek":
+            assert fast.get(key, touch=False) == ref.get(key, touch=False)
+        else:
+            assert fast.pop(key) == ref.pop(key)
+        assert (key in fast) == (ref.get(key, touch=False) is not None)
+    assert [list(s.items()) for s in fast._data] == ref.contents()
+
+
+class _RefPrefetchBuffer:
+    """OrderedDict reference for :class:`PrefetchBuffer`'s LRU policy."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._data = OrderedDict()
+
+    def insert(self, region, targets):
+        if region in self._data:
+            del self._data[region]
+        elif len(self._data) >= self.entries:
+            self._data.popitem(last=False)
+        self._data[region] = targets
+
+    def pending(self, region):
+        targets = self._data.get(region)
+        if targets is not None:
+            self._data.move_to_end(region)
+        return targets
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["insert", "pending"]),
+                          st.integers(min_value=0, max_value=9)),
+                min_size=1, max_size=80),
+       st.integers(min_value=1, max_value=4))
+def test_prefetch_buffer_lru_matches_ordereddict(ops, entries):
+    fast = PrefetchBuffer(entries)
+    ref = _RefPrefetchBuffer(entries)
+    for i, (op, region) in enumerate(ops):
+        if op == "insert":
+            fast.insert(region, [(i, None)])
+            ref.insert(region, [(i, None)])
+        else:
+            assert fast.pending(region) == ref.pending(region)
+    assert list(fast._data.items()) == list(ref._data.items())
