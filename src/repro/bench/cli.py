@@ -47,6 +47,11 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--macro-accesses", type=int, default=0,
                         help=f"macro sample length (default {MACRO_ACCESSES}, "
                              f"smoke {MACRO_SMOKE_ACCESSES})")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="measure the macro samples with the vectorized "
+                             "fast path disabled (every access through the "
+                             "event kernel); recorded in meta, and baselines "
+                             "from the other mode refuse to compare")
     parser.add_argument("--profile-top", type=int, default=10, metavar="N",
                         help="cProfile rows kept per benchmark (0 = skip "
                              "profiling)")
@@ -79,6 +84,7 @@ def bench_main(argv: list[str] | None = None) -> int:
         for bench in MICRO_BENCHMARKS:
             print(f"{bench.name:<22} [{bench.units}]")
         print(f"{'simulate_pmp':<22} [accesses/s]  (macro)")
+        print(f"{'simulate_hot_loop':<22} [accesses/s]  (macro)")
         return 0
 
     only = set(args.only) if args.only else None
@@ -110,7 +116,8 @@ def bench_main(argv: list[str] | None = None) -> int:
     if run_macro_suite:
         repeats = args.repeats or 3
         records = run_macro(accesses=macro_accesses, repeats=repeats,
-                            profile_n=args.profile_top)
+                            profile_n=args.profile_top,
+                            fastpath=not args.no_fastpath)
         print("\n".join(_summary_lines(records)))
         docs.append(build_bench_doc("macro", "macro", records))
         written.append(write_bench_doc("macro", "macro", records, args.out))

@@ -102,10 +102,16 @@ def _rows_by_name(doc: dict) -> dict[str, dict]:
 
 
 def _shape_of(row: dict) -> tuple:
-    """The workload identity a throughput is only comparable within."""
+    """The workload identity a throughput is only comparable within.
+
+    ``fastpath`` is part of the shape: the vectorized fast path changes
+    what work ``simulate()`` does per access, so a fastpath-on baseline
+    must refuse to gate a ``--no-fastpath`` rerun (and vice versa)
+    rather than score the mode switch as a perf delta.
+    """
     meta = row.get("meta", {})
     return (row.get("units"), meta.get("scale"), meta.get("accesses"),
-            meta.get("seed"))
+            meta.get("seed"), meta.get("fastpath"))
 
 
 def compare_docs(current: dict, baseline: dict, *,

@@ -19,13 +19,17 @@ from typing import Callable
 
 import numpy as np
 
+from ..memtrace.access import MemoryAccess
 from ..memtrace.trace import Trace
 from ..memtrace.workloads import full_suite
-from ..prefetchers.base import FillLevel
+from ..prefetchers.base import FillLevel, NoPrefetcher
 from ..prefetchers.pmp import PMP, extract_afe
 from ..prefetchers.sms import PatternCaptureFramework
 from ..sim.cache import Cache, CacheStats, FillQueue, PendingFill
+from ..sim.core import Core
 from ..sim.events import CacheAccess, EventBus
+from ..sim.fastpath import MIN_RUN, FastPath
+from ..sim.hierarchy import Hierarchy
 from ..sim.observers import LevelStatsObserver
 from ..sim.params import SystemConfig
 from .harness import BenchRecord, measure
@@ -188,6 +192,54 @@ def _build_pmp_predict(ops: int):
         "triggers_per_call": len(triggers), "source_accesses": ops}
 
 
+def _build_fastpath_scan(ops: int):
+    """Block-boundary scan + batched apply over a hot resident sweep.
+
+    Drives :class:`~repro.sim.fastpath.FastPath` directly (no engine, no
+    prefetcher work): a pre-warmed L1-resident working set swept end to
+    end, so the scanner retires the whole stream in blocks and the
+    timing isolates the vectorized eligibility scan, core-model
+    verification and batched LRU/deque apply.
+    """
+    rng = np.random.default_rng(MICRO_SEED + 2)
+    hot_lines = 256
+    base = (1 << 30) >> 6
+    gaps = rng.integers(0, 5, size=ops).tolist()
+    trace = Trace("bench-fastpath")
+    for i in range(ops):
+        trace.append(MemoryAccess(pc=0x400100 + 8 * (i % 16),
+                                  address=(base + i % hot_lines) * 64,
+                                  is_write=i % 7 == 0, gap=gaps[i]))
+    trace.arrays()  # memoised: materialisation stays outside the timing
+    config = SystemConfig.default()
+    state: dict = {}
+
+    def setup() -> None:
+        prefetcher = NoPrefetcher()
+        hierarchy = Hierarchy.build(config, prefetcher)
+        for j in range(hot_lines):
+            for level in hierarchy.levels:
+                level.storage.fill_now(base + j, 0.0)
+        core = Core(config.core)
+        state["scanner"] = FastPath(trace, hierarchy, core, prefetcher)
+
+    def fn() -> None:
+        try_run = state["scanner"].try_run
+        index, total = 0, ops
+        while index < total:
+            retired = try_run(index, total)
+            if retired:
+                index += retired
+            elif total - index < MIN_RUN:
+                break  # tail shorter than a block: nothing left to scan
+            else:  # every access is a warm hit — a decline is a bug
+                raise RuntimeError("fastpath_scan declined mid-stream "
+                                   f"at access {index}")
+
+    return setup, fn, float(ops), {"accesses_per_call": ops,
+                                   "hot_lines": hot_lines}
+
+
 def _build_trace_decode(ops: int):
     """Rebuild MemoryAccess records from the packed array wire format."""
     trace = _pinned_trace(ops)
@@ -206,6 +258,7 @@ MICRO_BENCHMARKS: tuple[MicroBench, ...] = (
     MicroBench("pmp_train", "merges/s", _build_pmp_train),
     MicroBench("pmp_extract", "extracts/s", _build_pmp_extract),
     MicroBench("pmp_predict", "predictions/s", _build_pmp_predict),
+    MicroBench("fastpath_scan", "accesses/s", _build_fastpath_scan),
     MicroBench("trace_decode", "accesses/s", _build_trace_decode),
 )
 

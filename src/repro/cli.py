@@ -108,6 +108,7 @@ def _runner(args: argparse.Namespace) -> SuiteRunner:
                          cache=args.cache_dir if args.cache else None,
                          trace_events=args.trace_events,
                          check_invariants=args.check_invariants,
+                         fastpath=not args.no_fastpath,
                          job_timeout=args.job_timeout,
                          fail_fast=args.fail_fast,
                          journal=_journal(args))
@@ -291,6 +292,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="attach the event-trace observer; prints the "
                              "per-component event counters and stores them "
                              "in the run manifest")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="force every access through the event-driven "
+                             "kernel instead of batching ordinary L1-hit "
+                             "runs through the vectorized fast path "
+                             "(results are bit-identical either way; this "
+                             "is the escape hatch / debugging mode)")
     parser.add_argument("--check-invariants", action="store_true",
                         help="audit kernel conservation laws during every "
                              "simulation (MSHR/fill-queue/inclusion/stats/"

@@ -81,6 +81,11 @@ class SimJob:
     # key(): auditing is pure observation (results are identical with it
     # on or off), so audited and unaudited runs share cache entries.
     check_invariants: bool = False
+    # Batch ordinary L1-hit runs through the vectorized fast path.  Also
+    # NOT part of key(): results are bit-identical in both modes (the
+    # differential suite pins this), so fastpath-on and --no-fastpath
+    # runs share cache entries.
+    fastpath: bool = True
 
     def key(self) -> str:
         """Content hash identifying this job's result.
@@ -106,13 +111,15 @@ def _simulate_payload(name: str, family: str, seed: int, arrays: TraceArrays,
                       warmup_fraction: float,
                       trace_events: bool = False,
                       check_invariants: bool = False,
+                      fastpath: bool = True,
                       chaos_key: str | None = None) -> SimResult:
     """Worker entry point: rebuild the trace and run one simulation."""
     maybe_inject_chaos(chaos_key)
     trace = Trace.from_arrays(name, arrays, family=family, seed=seed)
     return simulate(trace, prefetcher, config, warmup_fraction,
                     trace_events=trace_events,
-                    check_invariants=check_invariants or None)
+                    check_invariants=check_invariants or None,
+                    fastpath=fastpath)
 
 
 @dataclass
@@ -303,7 +310,8 @@ class ExperimentEngine:
     def _simulate_inline(self, job: SimJob) -> SimResult:
         return simulate(job.trace, job.prefetcher, job.config,
                         job.warmup_fraction, trace_events=job.trace_events,
-                        check_invariants=job.check_invariants or None)
+                        check_invariants=job.check_invariants or None,
+                        fastpath=job.fastpath)
 
     # ------------------------------------------------------------- serial path
 
@@ -331,7 +339,8 @@ class ExperimentEngine:
                        (np.asarray(pcs), np.asarray(addrs),
                         np.asarray(writes), np.asarray(gaps)),
                        job.prefetcher, job.config, job.warmup_fraction,
-                       job.trace_events, job.check_invariants, key)
+                       job.trace_events, job.check_invariants, job.fastpath,
+                       key)
             items.append(_WorkItem(index, job, key, payload))
         return items
 

@@ -73,6 +73,10 @@ class SuiteRunner:
     # globally by REPRO_CHECK_INVARIANTS=1).  The audit count lands in
     # the run manifest.
     check_invariants: bool = False
+    # Batch ordinary L1-hit runs through the vectorized fast path
+    # (results are bit-identical either way; ``--no-fastpath`` on the
+    # CLI forces every access through the event kernel).
+    fastpath: bool = True
     # Per-job wall-clock watchdog budget in seconds (parallel runs only;
     # None disables).  Timed-out jobs retry on a fresh pool.
     job_timeout: float | None = None
@@ -117,7 +121,8 @@ class SuiteRunner:
         """One fresh-prefetcher job per trace, in suite order."""
         return [SimJob(trace, factory(), config, self.warmup_fraction,
                        trace_events=self.trace_events,
-                       check_invariants=self.check_invariants)
+                       check_invariants=self.check_invariants,
+                       fastpath=self.fastpath)
                 for trace in self.traces]
 
     def baselines(self, config: SystemConfig | None = None) -> list[SimResult]:

@@ -263,6 +263,33 @@ def graph_traversal(rng: np.random.Generator, count: int, *, segment: int = 6,
     return out
 
 
+def hot_loop(rng: np.random.Generator, count: int, *, segment: int = 7,
+             lines: int = 512, pc_pool_size: int = 16, write_every: int = 7,
+             max_gap: int = 4) -> list[MemoryAccess]:
+    """Repeated sweep of a small L1-resident working set — hit-heavy.
+
+    After one cold lap every access is an L1 hit with no structural
+    events, which is the regime the vectorized fast path
+    (:mod:`repro.sim.fastpath`) batches.  Not part of the evaluation
+    suites: this is the pinned *performance* workload the macro bench
+    uses to measure fast-path throughput, kept out of
+    :func:`~repro.memtrace.workloads.full_suite` so the golden evaluation
+    fixtures are untouched by its existence.
+    """
+    out: list[MemoryAccess] = []
+    base = _segment_base(segment)
+    start = int(rng.integers(0, 1 << 16)) * LINES_PER_REGION
+    gaps = rng.integers(0, max_gap + 1, size=count)
+    for i in range(count):
+        slot = i % lines
+        line = start + slot
+        region = base + (line // LINES_PER_REGION) * REGION_BYTES
+        pc = 0x400800 + 8 * (slot % pc_pool_size)
+        _emit(out, pc, region, line % LINES_PER_REGION, int(gaps[i]),
+              is_write=slot % write_every == 0)
+    return out
+
+
 Generator = Callable[..., list[MemoryAccess]]
 
 

@@ -118,6 +118,21 @@ class Trace:
         gaps = np.fromiter((a.gap for a in self.accesses), dtype=np.uint32, count=len(self))
         return pcs, addrs, writes, gaps
 
+    def arrays(self) -> TraceArrays:
+        """Memoised :meth:`to_arrays` (the fast-path scanner's view).
+
+        Built once per trace and cached; like :meth:`content_hash`, a
+        trace whose arrays have been materialised must not be mutated
+        afterwards (``simulate()`` reads the stream through this, so the
+        cached arrays going stale would desynchronise the fast path from
+        ``accesses``).
+        """
+        cached = getattr(self, "_arrays", None)
+        if cached is None or len(cached[0]) != len(self.accesses):
+            cached = self.to_arrays()
+            self._arrays = cached
+        return cached
+
     @classmethod
     def from_arrays(cls, name: str, arrays: TraceArrays,
                     family: str = "synthetic", seed: int = 0) -> "Trace":

@@ -75,14 +75,67 @@ class Prefetcher:
 
     Subclasses should be pure policy: all machine state they may consult
     arrives via the ``view`` argument, which keeps them testable offline.
+
+    **Hit-run protocol** (the ``simulate()`` fast path,
+    :mod:`repro.sim.fastpath`): a prefetcher that opts in with
+    ``supports_hit_runs = True`` lets the engine batch runs of ordinary
+    L1 hits.  For each access in a candidate run the engine calls
+    :meth:`hit_run_consume` instead of :meth:`on_access`; the hook must
+    either *consume* the access — performing **exactly** the training
+    mutations ``on_access`` would have performed for an L1 hit that
+    returns no requests — or *decline* by returning False **without
+    mutating any state**, in which case the engine cuts the run and
+    replays the access through ``on_access`` on the event-driven path.
+    ``hit_run_transparent = True`` additionally asserts that ``on_access``
+    is a guaranteed no-op (no mutations, no requests), letting the fast
+    path skip the per-access hook entirely.  Prefetchers that leave
+    ``supports_hit_runs`` False simply disable the fast path — results
+    are identical either way, only the speed differs.
+
+    The engine actually drives the protocol through
+    :meth:`hit_run_consume_block`, which receives the whole candidate
+    run as NumPy arrays and must behave exactly like calling
+    :meth:`hit_run_consume` per access left to right, stopping at the
+    first decline.  The default implementation does literally that;
+    prefetchers whose training is vectorizable (PMP's accumulation-table
+    bit ORs) override it so a hit run costs array arithmetic instead of
+    one Python call per access.
     """
 
     name = "none"
+    supports_hit_runs = False
+    hit_run_transparent = False
 
     def on_access(self, pc: int, address: int, cycle: float, hit: bool,
                   view: SystemView) -> list[PrefetchRequest]:
         """Observe one L1D demand load; return prefetches to issue now."""
         return []
+
+    def hit_run_consume(self, pc: int, address: int) -> bool:
+        """Train on one L1 hit inside a fast-path run, or decline.
+
+        Only called when ``supports_hit_runs`` is True and
+        ``hit_run_transparent`` is False.  See the class docstring for
+        the consume-exactly-or-decline-untouched contract.
+        """
+        return True
+
+    def hit_run_consume_block(self, pcs, addrs) -> int:
+        """Train on a whole candidate hit run; returns the consumed
+        prefix length.
+
+        ``pcs``/``addrs`` are equal-length NumPy integer arrays.  Must be
+        observably identical to calling :meth:`hit_run_consume` per
+        access in order and stopping at the first decline — which is
+        exactly what this default does.
+        """
+        consume = self.hit_run_consume
+        pcs = pcs.tolist()
+        addrs = addrs.tolist()
+        for k, (pc, addr) in enumerate(zip(pcs, addrs)):
+            if not consume(pc, addr):
+                return k
+        return len(addrs)
 
     def on_evict(self, line_address: int) -> None:
         """An L1D line was evicted (ends SMS-style pattern accumulation)."""
@@ -101,3 +154,7 @@ class NoPrefetcher(Prefetcher):
     """The non-prefetching baseline every NIPC is normalised against."""
 
     name = "none"
+    # on_access is the base no-op, so hit runs need no per-access hook at
+    # all — the fast path batches them with zero prefetcher work.
+    supports_hit_runs = True
+    hit_run_transparent = True

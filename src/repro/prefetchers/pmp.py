@@ -29,7 +29,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..memtrace.access import hash_pc, lines_per_region
+import numpy as np
+
+from ..memtrace.access import CACHELINE_BITS, hash_pc, lines_per_region
 from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
 from .sms import CapturedPattern, PatternCaptureFramework
 
@@ -334,6 +336,7 @@ class PMP(Prefetcher):
     """The Pattern Merging Prefetcher."""
 
     name = "pmp"
+    supports_hit_runs = True
 
     def __init__(self, config: PMPConfig | None = None) -> None:
         self.config = config or PMPConfig()
@@ -507,6 +510,103 @@ class PMP(Prefetcher):
                 self.pb.insert(region,
                                self._targets_for(region, offset, final_pattern))
         return self._issue_from_pb(region, view)
+
+    def hit_run_consume(self, pc: int, address: int) -> bool:
+        """Fast-path training on one L1 hit (see ``Prefetcher`` docs).
+
+        Consumes the access when :meth:`on_access` would have trained and
+        returned no requests, replicating its mutations exactly:
+
+        * region pending in the prefetch buffer → **decline** (the drain
+          would touch PB LRU and may emit requests — replay slowly);
+        * region in the AT/FT → same bit accumulation / promotion /
+          victim merge ``capture.observe`` performs;
+        * would-be trigger → peek the (pure, memoised) prediction first:
+          a non-empty pattern means the slow path would insert into the
+          PB and issue, so **decline without mutating**; an empty one
+          commits the FT insert and consumes.
+        """
+        if (address & self._region_mask) in self.pb._data:
+            return False
+        consumed, offset, completed = self.capture.observe_nontrigger(
+            pc, address)
+        for pattern in completed:
+            self._merge(pattern)
+        if consumed:
+            return True
+        if self._predict(pc, offset):
+            return False
+        self.capture.insert_trigger(pc, address, offset)
+        return True
+
+    def hit_run_consume_block(self, pcs, addrs) -> int:
+        """Vectorized hit-run training (see ``Prefetcher`` docs).
+
+        The dominant case in a hot run is an access whose region already
+        sits in the accumulation table: :meth:`hit_run_consume` then only
+        ORs the offset bit into the region's vector and touches the AT's
+        LRU.  This override applies a maximal prefix of such accesses as
+        array arithmetic — one OR-reduction of the offset masks per
+        distinct region, then one pop/reinsert per region in last-access
+        order (the same final recency the per-access LRU touches
+        produce) — and steps the first access outside that regime (FT
+        promotion, trigger peek, PB decline) through the scalar hook
+        before resuming.  Regions pending in the PB are excluded from the
+        vector prefix because the scalar hook declines them.
+        """
+        at = self.capture.accumulation_table
+        region_bytes = self.capture.region_bytes
+        shift = region_bytes.bit_length() - 1
+        length_mask = self.capture.pattern_length - 1
+        n = len(addrs)
+        regions = (addrs >> shift) << shift
+        masks = np.uint64(1) << ((addrs >> CACHELINE_BITS) & length_mask)
+        consumed = 0
+        while consumed < n:
+            # AT membership (minus PB-pending regions) is static over a
+            # prefix drawn only from this set: AT hits mutate nothing but
+            # bit vectors and recency.
+            eligible = {region
+                        for entry_set in at._data for region in entry_set
+                        if region not in self.pb._data}
+            if eligible:
+                elig = np.fromiter(eligible, dtype=np.uint64,
+                                   count=len(eligible))
+                elig.sort()
+                seg = regions[consumed:]
+                pos = np.searchsorted(elig, seg)
+                pos[pos == elig.size] = 0
+                in_at = elig[pos] == seg
+                out = np.flatnonzero(~in_at)
+                run = int(out[0]) if out.size else len(seg)
+            else:
+                run = 0
+            if run:
+                stop = consumed + run
+                run_regions = regions[consumed:stop]
+                uniq, inv = np.unique(run_regions, return_inverse=True)
+                or_acc = np.zeros(uniq.size, dtype=np.uint64)
+                np.bitwise_or.at(or_acc, inv, masks[consumed:stop])
+                # uniq and the reversed-unique share the same sorted
+                # order, so index i addresses the same region in both.
+                _, rev_index = np.unique(run_regions[::-1],
+                                         return_index=True)
+                for i in np.argsort(-rev_index):
+                    region = int(uniq[i])
+                    entry_set = at._set_for(region)
+                    entry = entry_set.pop(region)
+                    entry.bit_vector |= int(or_acc[i])
+                    entry_set[region] = entry
+                consumed = stop
+                if consumed >= n:
+                    break
+            # One scalar step handles FT promotion / trigger insertion /
+            # PB declines, any of which can change AT membership.
+            if not self.hit_run_consume(int(pcs[consumed]),
+                                        int(addrs[consumed])):
+                return consumed
+            consumed += 1
+        return consumed
 
     def on_evict(self, line_address: int) -> None:
         pattern = self.capture.end_region(line_address & self._region_mask)

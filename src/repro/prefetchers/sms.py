@@ -182,6 +182,51 @@ class PatternCaptureFramework:
         # pattern; SMS drops it, and so do we.
         return True, offset, completed
 
+    def observe_nontrigger(self, pc: int, address: int
+                           ) -> tuple[bool, int, list[CapturedPattern]]:
+        """:meth:`observe` minus the trigger path (fast-path hit runs).
+
+        Feeds the access only when its region already has an FT or AT
+        entry, performing exactly the mutations :meth:`observe` would
+        (bit accumulation, FT→AT promotion with its capacity victim, the
+        same LRU touches).  Returns ``(consumed, offset, completed)``;
+        ``consumed=False`` means the access would have been a trigger and
+        **nothing was touched** — the caller decides whether to commit it
+        via :meth:`insert_trigger` or fall back to :meth:`observe` on the
+        event-driven path.
+        """
+        region = address & self._region_mask
+        offset = (address & self._offset_mask) >> CACHELINE_BITS
+        completed: list[CapturedPattern] = []
+
+        acc: _AccumulationEntry | None = self.accumulation_table.get(region)  # type: ignore[assignment]
+        if acc is not None:
+            acc.bit_vector |= 1 << offset
+            return True, offset, completed
+
+        filt: _FilterEntry | None = self.filter_table.get(region)  # type: ignore[assignment]
+        if filt is not None:
+            if offset == filt.trigger_offset:
+                return True, offset, completed
+            self.filter_table.pop(region)
+            entry = _AccumulationEntry(
+                pc=filt.pc, trigger_offset=filt.trigger_offset,
+                bit_vector=(1 << filt.trigger_offset) | (1 << offset))
+            victim = self.accumulation_table.insert(region, entry)
+            if victim is not None:
+                completed.append(self._finish(victim[0], victim[1]))
+            return True, offset, completed
+
+        return False, offset, completed
+
+    def insert_trigger(self, pc: int, address: int, offset: int) -> None:
+        """Commit the trigger-path FT insert :meth:`observe_nontrigger`
+        withheld (the FT capacity victim is silently dropped, exactly as
+        in :meth:`observe`)."""
+        region = address & self._region_mask
+        self.filter_table.insert(region,
+                                 _FilterEntry(pc=pc, trigger_offset=offset))
+
     def end_region(self, region: int) -> CapturedPattern | None:
         """Data from `region` was evicted: finish its accumulation, if any."""
         entry = self.accumulation_table.pop(region)

@@ -177,13 +177,25 @@ class Cache:
         # per-access path.
         self._sets: list[dict[int, CacheLine]] = [
             {} for _ in range(self.num_sets)]
+        # Bumped whenever the *eligibility-relevant* state changes: which
+        # lines are resident and which carry a prefetched bit.  The
+        # fast-path scanner (repro.sim.fastpath) caches a sorted array of
+        # hit-eligible lines keyed by this counter; LRU reordering and
+        # dirty-bit changes deliberately do not bump it.
+        self.version = 0
         self.stats = CacheStats()
         # Outstanding misses: line -> (completion cycle, is_prefetch).
         self._mshr: dict[int, tuple[float, bool]] = {}
         self._mshr_capacity = params.mshr_entries
+        # Companion min-heap of (completion, line) with lazy deletion:
+        # released or overwritten entries stay in the heap until popped
+        # and are skipped when the dict disagrees.  Pruning pops only
+        # the completed prefix instead of scanning every entry.
+        self._mshr_heap: list[tuple[float, int]] = []
         # Lower bound on the earliest outstanding completion; lets prune
-        # skip its scan when no entry can possibly have completed.  May go
-        # stale-low after a release (costing one wasted scan), never high.
+        # skip its pops when no entry can possibly have completed.  May go
+        # stale-low after a release (costing a few wasted pops), never
+        # high.
         self._mshr_min = float("inf")
         # Fills whose data has not arrived yet, ordered by readiness.
         self.fills = FillQueue()
@@ -231,6 +243,7 @@ class Cache:
             entry.dirty = True
         if entry.prefetched:
             entry.prefetched = False
+            self.version += 1
             return True, True
         return True, False
 
@@ -257,6 +270,7 @@ class Cache:
             victim_entry = cache_set.pop(victim)
         cache_set[line] = CacheLine(ready_cycle=cycle,
                                     prefetched=prefetched, dirty=is_write)
+        self.version += 1
         return True, victim, victim_entry
 
     def schedule_fill(self, line: int, ready: float, *, prefetched: bool = False,
@@ -287,7 +301,10 @@ class Cache:
     def invalidate(self, line: int) -> CacheLine | None:
         """Remove a line (inclusive back-invalidation).  Returns the
         evicted entry when it was present, else None."""
-        return self._set_for(line).pop(line, None)
+        entry = self._set_for(line).pop(line, None)
+        if entry is not None:
+            self.version += 1
+        return entry
 
     def cancel_fills(self, line: int) -> bool:
         """Cancel in-flight fills of a back-invalidated line.
@@ -316,6 +333,8 @@ class Cache:
                 if entry.prefetched:
                     entry.prefetched = False
                     stripped.append(line)
+        if stripped:
+            self.version += 1
         return stripped
 
     def resident_lines(self) -> int:
@@ -342,6 +361,7 @@ class Cache:
         if now is not None and now >= self._mshr_min:
             self.mshr_prune(now)
         self._mshr[line] = (completion, is_prefetch)
+        heapq.heappush(self._mshr_heap, (completion, line))
         if completion < self._mshr_min:
             self._mshr_min = completion
 
@@ -350,29 +370,30 @@ class Cache:
         mshr = self._mshr
         mshr.pop(line, None)
         if not mshr:
-            # Re-tighten the lower bound: without this, a stale-low
-            # bound forces every later prune through a full (empty) scan.
+            # Re-tighten the lower bound and drop the stale heap tail:
+            # without this, a stale-low bound forces every later prune
+            # through (empty) pop attempts.
+            self._mshr_heap.clear()
             self._mshr_min = float("inf")
 
     def mshr_prune(self, cycle: float) -> None:
-        """Drop MSHR entries whose fills have completed."""
+        """Drop MSHR entries whose fills have completed.
+
+        Pops the heap's completed prefix; an entry whose dict completion
+        disagrees with its heap key is stale (released or re-allocated)
+        and skipped.
+        """
         if cycle < self._mshr_min:
             return
         mshr = self._mshr
-        done = None
-        new_min = float("inf")
-        for line, (when, _) in mshr.items():
-            if when <= cycle:
-                if done is None:
-                    done = [line]
-                else:
-                    done.append(line)
-            elif when < new_min:
-                new_min = when
-        if done is not None:
-            for line in done:
+        heap = self._mshr_heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= cycle:
+            when, line = pop(heap)
+            entry = mshr.get(line)
+            if entry is not None and entry[0] == when:
                 del mshr[line]
-        self._mshr_min = new_min
+        self._mshr_min = heap[0][0] if heap else float("inf")
 
     def mshr_release_completed(self, up_to: float) -> None:
         """Drop every entry completed at or before `up_to`."""
@@ -380,7 +401,16 @@ class Cache:
 
     def mshr_earliest(self) -> float:
         """Completion cycle of the oldest outstanding miss."""
-        return min(when for when, _ in self._mshr.values())
+        heap = self._mshr_heap
+        mshr = self._mshr
+        pop = heapq.heappop
+        while heap:
+            when, line = heap[0]
+            entry = mshr.get(line)
+            if entry is not None and entry[0] == when:
+                return when
+            pop(heap)  # stale: released or re-allocated since pushed
+        return min(when for when, _ in mshr.values())
 
     def mshr_free(self, cycle: float) -> int:
         """Free MSHR slots at `cycle` (prunes completed entries)."""

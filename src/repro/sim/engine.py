@@ -15,6 +15,7 @@ from typing import Callable
 from ..memtrace.trace import Trace
 from ..prefetchers.base import NoPrefetcher, Prefetcher
 from .core import Core
+from .fastpath import MIN_RUN, FastPath
 from .hierarchy import Hierarchy
 from .invariants import InvariantAuditor, audit_requested
 from .observers import EventTrace
@@ -28,7 +29,9 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
              config: SystemConfig | None = None,
              warmup_fraction: float = 0.2,
              trace_events: bool = False,
-             check_invariants: bool | None = None) -> SimResult:
+             check_invariants: bool | None = None,
+             fastpath: bool = True,
+             state_out: dict | None = None) -> SimResult:
     """Run one trace through one prefetcher; returns the measured stats.
 
     ``trace_events=True`` attaches the opt-in :class:`EventTrace`
@@ -45,6 +48,18 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     ``REPRO_CHECK_INVARIANTS`` environment variable, so CI can audit
     every simulation without touching call sites.  Auditing is pure
     observation: results are identical with it on or off.
+
+    ``fastpath`` (default on) lets the engine batch runs of *ordinary*
+    accesses — L1 hits with no structural events — through the NumPy
+    fast path (:mod:`repro.sim.fastpath`), falling back to the
+    event-driven kernel at every interesting boundary.  Results are
+    bit-identical either way (the differential suite pins this);
+    ``fastpath=False`` (``--no-fastpath`` on the CLI) is the escape
+    hatch that forces every access through the event kernel.
+
+    ``state_out``, when given a dict, receives post-run internals for
+    tests: the ``hierarchy`` and ``core`` objects plus
+    ``fastpath_blocks`` / ``fastpath_accesses`` coverage counters.
     """
     if prefetcher is None:
         prefetcher = NoPrefetcher()
@@ -56,9 +71,15 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     auditor = (InvariantAuditor(hierarchy)
                if audit_requested(check_invariants) else None)
     core = Core(config.core)
-    warmup_end = int(len(trace) * warmup_fraction)
+    accesses = trace.accesses
+    total = len(accesses)
+    warmup_end = int(total * warmup_fraction)
     measured_start_instr = 0
     measured_start_cycle = 0.0
+
+    scanner = (FastPath(trace, hierarchy, core, prefetcher)
+               if fastpath and prefetcher.supports_hit_runs
+               and total >= MIN_RUN else None)
 
     # Bound methods hoisted out of the per-access loop: the loop body is
     # the whole-simulation hot path and each lookup otherwise costs an
@@ -70,8 +91,10 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     demand_access = hierarchy.demand_access
     issue_prefetch = hierarchy.issue_prefetch
     on_access = prefetcher.on_access
+    try_run = scanner.try_run if scanner is not None else None
 
-    for index, access in enumerate(trace.accesses):
+    index = 0
+    while index < total:
         if index == warmup_end:
             hierarchy.reset_stats()
             if tracer is not None:
@@ -81,6 +104,18 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
             measured_start_instr = core.instructions
             measured_start_cycle = core.cycle
 
+        if try_run is not None:
+            # A block must never span the warmup/measurement boundary:
+            # the stats it reconciles in one step have to land entirely
+            # on one side of the reset above.
+            retired = try_run(index,
+                              warmup_end if index < warmup_end else total)
+            if retired:
+                index += retired
+                continue
+
+        access = accesses[index]
+        index += 1
         if access.gap:
             advance(access.gap)
         issue_cycle = begin_load()
@@ -101,6 +136,15 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     hierarchy.flush_accounting(final_cycle)
     if auditor is not None:
         auditor.finalize(final_cycle)
+
+    if state_out is not None:
+        state_out["hierarchy"] = hierarchy
+        state_out["core"] = core
+        state_out["tracer"] = tracer
+        state_out["fastpath_blocks"] = (scanner.blocks_retired
+                                        if scanner is not None else 0)
+        state_out["fastpath_accesses"] = (scanner.accesses_fastpathed
+                                          if scanner is not None else 0)
 
     return SimResult(
         trace_name=trace.name,

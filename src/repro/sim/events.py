@@ -151,6 +151,32 @@ class PrefetchDropped:
     cycle: float
 
 
+@dataclass(slots=True)
+class HitRunRetired:
+    """A vectorized block of ordinary L1 hits retired in one step.
+
+    Published by the fast path (:mod:`repro.sim.fastpath`) when a run of
+    ``count`` consecutive demand accesses — all L1 hits with no
+    structural events — was executed as one NumPy block instead of
+    ``count`` trips through the event kernel.  ``cycles`` and ``lines``
+    are per-access arrays (issue cycle and cacheline of each access in
+    trace order); ``cycle`` is the last access's issue cycle.
+
+    Deliberately NOT in :data:`EVENT_TYPES`: it is a *reconciliation
+    summary*, not a kernel event.  Subscribers that account per-access
+    state (stats observer, event trace, invariant auditor) expand it into
+    exactly the ``count`` :class:`CacheAccess` increments the slow path
+    would have published, so listing it alongside ``CacheAccess`` in the
+    generic catalogue would double-count the block.
+    """
+
+    level: FillLevel
+    count: int
+    cycles: object   # np.ndarray[float64] — per-access issue cycles
+    lines: object    # np.ndarray[uint64] — per-access cachelines
+    cycle: float     # issue cycle of the last access in the run
+
+
 EVENT_TYPES = (
     CacheAccess,
     PrefetchFill,

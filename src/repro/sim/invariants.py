@@ -54,6 +54,7 @@ from .events import (
     CacheAccess,
     EventBus,
     Eviction,
+    HitRunRetired,
     PrefetchDropped,
     PrefetchFill,
     PrefetchIssued,
@@ -152,6 +153,10 @@ class InvariantAuditor:
                  exclusive_llc: bool | None = None) -> None:
         self.hierarchy = hierarchy
         self._ring: deque[tuple] = deque(maxlen=ring_size)
+        # Bound append for the hot event handlers, which inline
+        # :meth:`_record`'s body — the auditor fires on every kernel
+        # event, so one saved method call per event is measurable.
+        self._ring_append = self._ring.append
         self._every = max(1, checkpoint_every)
         self._deep_every = max(1, deep_every)
         if exclusive_llc is None:
@@ -175,7 +180,6 @@ class InvariantAuditor:
         self._issued = {level: 0 for level in FillLevel}
         self._dropped = 0
         self._drop_reasons: dict[str, int] = {}
-        self._max_cycle = 0.0
         self._last_access_cycle = 0.0
         self._accesses = 0
         self.structural_audits = 0
@@ -185,6 +189,7 @@ class InvariantAuditor:
         bus = hierarchy.bus
         for event_type, handler in (
                 (CacheAccess, self._on_access),
+                (HitRunRetired, self._on_hit_run),
                 (PrefetchFill, self._on_fill),
                 (PrefetchUseful, self._on_useful),
                 (PrefetchUseless, self._on_useless),
@@ -211,8 +216,9 @@ class InvariantAuditor:
 
     def _record(self, cycle: float, kind: str, component, line: int,
                 extra: str = "") -> None:
-        if cycle > self._max_cycle:
-            self._max_cycle = cycle
+        # Hot per-event handlers (_on_access, _on_fill, ...) inline this
+        # two-line body against the bound ``_ring_append`` — keep them in
+        # sync if the record shape changes.
         self.audited_events += 1
         self._ring.append((cycle, kind, component, line, extra))
 
@@ -252,14 +258,47 @@ class InvariantAuditor:
             shadow.demand_hits += 1
         else:
             shadow.demand_misses += 1
-        self._record(ev.cycle, "CacheAccess", ev.level, ev.line,
-                     "hit" if ev.hit else "miss")
+        self.audited_events += 1
+        self._ring_append((ev.cycle, "CacheAccess", ev.level, ev.line,
+                           "hit" if ev.hit else "miss"))
+
+    def _on_hit_run(self, ev: HitRunRetired) -> None:
+        """Audit checkpoint at a fast-path block exit.
+
+        A retired hit run is ``count`` demand hits the event kernel never
+        saw individually: the shadow counters absorb the batch, the
+        access clock advances by the whole block, and the structural laws
+        run *now* — the block boundary is the fast path's checkpoint, so
+        a broken block-exit reconciliation is caught before the next
+        access executes.
+        """
+        shadow = self._blocks[ev.level].shadow
+        shadow.demand_accesses += ev.count
+        shadow.demand_hits += ev.count
+        self._record(ev.cycle, "HitRunRetired", ev.level, int(ev.lines[-1]),
+                     f"count={ev.count}")
+        self._last_access_cycle = ev.cycle
+        before = self._accesses
+        self._accesses = before + ev.count
+        if self._dirty_obligations:
+            self._fail("dirty-conservation",
+                       f"{len(self._dirty_obligations)} dirty victim(s) "
+                       "outstanding at a fast-path block exit — a hit run "
+                       "can never surrender a dirty line",
+                       cycle=ev.cycle,
+                       line=next(iter(self._dirty_obligations)))
+        # Deep (cache-sized) scans keep their access-count cadence; the
+        # structural pass runs at every block exit regardless.
+        deep = (self._accesses // self._every != before // self._every
+                and (self._accesses // self._every) % self._deep_every == 0)
+        self.audit_now(ev.cycle, deep=deep)
 
     def _on_fill(self, ev: PrefetchFill) -> None:
         block = self._blocks[ev.level]
         block.shadow.prefetch_fills += 1
         block.census += 1
-        self._record(ev.cycle, "PrefetchFill", ev.level, ev.line)
+        self.audited_events += 1
+        self._ring_append((ev.cycle, "PrefetchFill", ev.level, ev.line, ""))
 
     def _on_useful(self, ev: PrefetchUseful) -> None:
         block = self._blocks[ev.level]
@@ -270,8 +309,9 @@ class InvariantAuditor:
             # A resident useful consumes one installed prefetched bit;
             # a late merge resolves a prefetch that never filled as one.
             block.census -= 1
-        self._record(ev.cycle, "PrefetchUseful", ev.level, ev.line,
-                     "late" if ev.late else "")
+        self.audited_events += 1
+        self._ring_append((ev.cycle, "PrefetchUseful", ev.level, ev.line,
+                           "late" if ev.late else ""))
 
     def _on_useless(self, ev: PrefetchUseless) -> None:
         if ev.reason == "flushed" and ev.cycle < self._last_access_cycle:
@@ -283,15 +323,17 @@ class InvariantAuditor:
         block = self._blocks[ev.level]
         block.shadow.useless_prefetches += 1
         block.census -= 1
-        self._record(ev.cycle, "PrefetchUseless", ev.level, ev.line,
-                     ev.reason)
+        self.audited_events += 1
+        self._ring_append((ev.cycle, "PrefetchUseless", ev.level, ev.line,
+                           ev.reason))
 
     def _on_eviction(self, ev: Eviction) -> None:
         self._blocks[ev.level].shadow.evictions += 1
         if ev.dirty:
             self._dirty_obligations.add(ev.line)
-        self._record(ev.cycle, "Eviction", ev.level, ev.line,
-                     "dirty" if ev.dirty else "")
+        self.audited_events += 1
+        self._ring_append((ev.cycle, "Eviction", ev.level, ev.line,
+                           "dirty" if ev.dirty else ""))
 
     def _apply_back_invalidation(self, ev: BackInvalidation) -> None:
         block = self._owned.get(id(ev.stats))
@@ -345,7 +387,8 @@ class InvariantAuditor:
 
     def _on_issued(self, ev: PrefetchIssued) -> None:
         self._issued[ev.level] += 1
-        self._record(ev.cycle, "PrefetchIssued", ev.level, ev.line)
+        self.audited_events += 1
+        self._ring_append((ev.cycle, "PrefetchIssued", ev.level, ev.line, ""))
 
     def _on_dropped(self, ev: PrefetchDropped) -> None:
         self._dropped += 1

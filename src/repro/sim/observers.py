@@ -31,6 +31,7 @@ from .events import (
     CacheAccess,
     EventBus,
     Eviction,
+    HitRunRetired,
     PrefetchDropped,
     PrefetchFill,
     PrefetchIssued,
@@ -67,6 +68,7 @@ class LevelStatsObserver:
             level: (stats, llc_mirror if level is FillLevel.LLC else None)
             for level, stats in stats_by_level.items()}
         bus.subscribe(CacheAccess, self._on_access)
+        bus.subscribe(HitRunRetired, self._on_hit_run)
         bus.subscribe(PrefetchFill, self._on_fill)
         bus.subscribe(PrefetchUseful, self._on_useful)
         bus.subscribe(PrefetchUseless, self._on_useless)
@@ -89,6 +91,17 @@ class LevelStatsObserver:
                 mirror.demand_hits += 1
             else:
                 mirror.demand_misses += 1
+
+    def _on_hit_run(self, event: HitRunRetired) -> None:
+        # A retired hit run is `count` demand hits at one level; the
+        # batched increments are exactly what `count` CacheAccess events
+        # with hit=True would have produced.
+        stats, mirror = self._routes[event.level]
+        stats.demand_accesses += event.count
+        stats.demand_hits += event.count
+        if mirror is not None:
+            mirror.demand_accesses += event.count
+            mirror.demand_hits += event.count
 
     def _on_fill(self, event: PrefetchFill) -> None:
         stats, mirror = self._routes[event.level]
@@ -210,6 +223,10 @@ class EventTrace:
         """Subscribe to every event type on ``bus``."""
         for event_type in EVENT_TYPES:
             self._detach.append(bus.subscribe(event_type, self._record))
+        # HitRunRetired is not in EVENT_TYPES (it is a reconciliation
+        # summary, not a kernel event); it expands into the per-access
+        # CacheAccess rows the slow path would have recorded.
+        self._detach.append(bus.subscribe(HitRunRetired, self._on_hit_run))
 
     def detach(self) -> None:
         """Unsubscribe from everything previously attached."""
@@ -239,6 +256,29 @@ class EventTrace:
                              getattr(event, "line", 0)))
         else:
             self.dropped_log_rows += 1
+
+    def _on_hit_run(self, event: HitRunRetired) -> None:
+        """Expand a retired hit run into its per-access CacheAccess rows.
+
+        The snapshot contract is bit-identity with the event-driven path:
+        ``count`` is added to the CacheAccess/level counter, and the log
+        gains one ``(issue_cycle, "CacheAccess", level, line)`` row per
+        access, honouring ``max_events`` exactly as ``_record`` does.
+        """
+        component = event.level.name
+        per_component = self.counts.setdefault("CacheAccess", {})
+        per_component[component] = per_component.get(component, 0) + event.count
+        room = self.max_events - len(self.log)
+        if room <= 0:
+            self.dropped_log_rows += event.count
+            return
+        take = min(room, event.count)
+        kind = "CacheAccess"
+        self.log.extend(
+            (cycle, kind, component, line)
+            for cycle, line in zip(event.cycles[:take].tolist(),
+                                   event.lines[:take].tolist()))
+        self.dropped_log_rows += event.count - take
 
     def counter_snapshot(self) -> dict[str, dict[str, int]]:
         """Copy of the ``{event: {component: count}}`` table (JSON-safe)."""

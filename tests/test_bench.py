@@ -137,6 +137,18 @@ class TestCompare:
         [delta] = result.deltas
         assert not delta.comparable and "shape" in delta.note
 
+    def test_fastpath_mode_is_part_of_the_workload_shape(self):
+        # An event-kernel-only (--no-fastpath) run is a different
+        # workload for speed purposes: a 10x drop against a fastpath-on
+        # baseline must SKIP as incomparable, never gate (or pass!)
+        # silently.
+        base = doc_with(record(throughput=1000.0, fastpath=True))
+        cur = doc_with(record(throughput=100.0, fastpath=False))
+        result = compare_docs(cur, base, threshold_pct=10.0)
+        assert result.ok
+        [delta] = result.deltas
+        assert not delta.comparable and "shape" in delta.note
+
     def test_benchmark_missing_from_baseline_warns_by_default(self):
         base = doc_with(record(name="old", throughput=1000.0))
         cur = doc_with(record(name="new", throughput=1.0))
@@ -215,8 +227,11 @@ class TestCli:
         out = tmp_path / "run"
         assert bench_main([*FAST_MICRO, "--out", str(out)]) == 0
         doc = json.loads((out / "BENCH_micro.json").read_text())
-        # Inflate the baseline far past any plausible machine noise.
-        doc["benchmarks"][0]["throughput"] *= 10
+        # Inflate the baseline far past any plausible machine noise:
+        # with --repeats 1 a scheduler stall in the *first* run can make
+        # the rerun look ~10x faster, so 10x is not safely past noise on
+        # a loaded machine — 1000x is.
+        doc["benchmarks"][0]["throughput"] *= 1000
         baseline = tmp_path / "BENCH_baseline.json"
         baseline.write_text(json.dumps(doc))
         assert bench_main([*FAST_MICRO, "--out", str(out),
@@ -242,10 +257,23 @@ class TestMacroDeterminism:
         assert len(first) == 2_000
 
     def test_macro_meta_pins_the_simulation_outcome(self):
-        [a] = run_macro(accesses=2_000, repeats=1, profile_n=0)
-        [b] = run_macro(accesses=2_000, repeats=1, profile_n=0)
-        for key in ("trace_content_hash", "result_instructions",
-                    "result_cycles", "result_ipc"):
-            assert a.meta[key] == b.meta[key], key
-        assert a.units == "accesses/s"
-        assert a.meta["accesses"] == 2_000
+        first = run_macro(accesses=2_000, repeats=1, profile_n=0)
+        second = run_macro(accesses=2_000, repeats=1, profile_n=0)
+        assert [r.name for r in first] == ["simulate_pmp", "simulate_hot_loop"]
+        for a, b in zip(first, second):
+            for key in ("trace_content_hash", "result_instructions",
+                        "result_cycles", "result_ipc"):
+                assert a.meta[key] == b.meta[key], (a.name, key)
+            assert a.units == "accesses/s"
+            assert a.meta["accesses"] == 2_000
+            assert a.meta["fastpath"] is True
+
+    def test_macro_meta_records_the_fastpath_mode(self):
+        # Same workload, opposite modes: identical simulation outcome,
+        # different shape key — the comparator must refuse to pair them.
+        [on, _] = run_macro(accesses=2_000, repeats=1, profile_n=0)
+        [off, _] = run_macro(accesses=2_000, repeats=1, profile_n=0,
+                             fastpath=False)
+        assert on.meta["fastpath"] is True
+        assert off.meta["fastpath"] is False
+        assert on.meta["result_ipc"] == off.meta["result_ipc"]
