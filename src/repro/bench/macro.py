@@ -25,30 +25,34 @@ switch as a perf change.
 
 from __future__ import annotations
 
-from ..memtrace.synthetic import build_trace, hot_loop
 from ..memtrace.trace import Trace
-from ..memtrace.workloads import full_suite
+from ..memtrace.workloads import WorkloadSpec, compile_scenario
 from ..prefetchers.pmp import make_pmp
+from ..scenarios.catalog import cached_catalog, scale_defaults
 from ..sim.engine import simulate
 from .harness import BenchRecord, measure
 
 MACRO_TRACE_NAME = "spec06-00"
 MACRO_HOT_TRACE_NAME = "hot-loop-00"
 MACRO_HOT_SEED = 20260807  # pinned: the hot sample derives from this
-MACRO_ACCESSES = 12_000
-MACRO_SMOKE_ACCESSES = 4_000
+MACRO_ACCESSES = scale_defaults("bench_accesses")
+MACRO_SMOKE_ACCESSES = scale_defaults("smoke_accesses")
+
+
+def _pinned(name: str) -> WorkloadSpec:
+    """Resolve a pinned bench workload through the scenario catalog."""
+    catalog = cached_catalog()
+    return compile_scenario(catalog.get(name), catalog.directory)
 
 
 def build_macro_trace(accesses: int = MACRO_ACCESSES) -> Trace:
     """Materialise the pinned macro workload sample."""
-    spec = next(s for s in full_suite() if s.name == MACRO_TRACE_NAME)
-    return spec.build(accesses)
+    return _pinned(MACRO_TRACE_NAME).build(accesses)
 
 
 def build_hot_trace(accesses: int = MACRO_ACCESSES) -> Trace:
     """Materialise the pinned hit-heavy (fast-path) workload sample."""
-    return build_trace(MACRO_HOT_TRACE_NAME, "synthetic", MACRO_HOT_SEED,
-                       [(hot_loop, {}, 1.0)], accesses)
+    return _pinned(MACRO_HOT_TRACE_NAME).build(accesses)
 
 
 def _macro_record(name: str, trace: Trace, *, fastpath: bool, repeats: int,

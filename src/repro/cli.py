@@ -14,6 +14,9 @@ Examples::
     pmp-repro fig8 --resume run-20260806-101530-a1b2c3  # after an interrupt
     pmp-repro bench                 # performance harness -> BENCH_*.json
     pmp-repro bench --compare benchmarks/baselines/BENCH_micro.json
+    pmp-repro scenarios list        # the declarative workload catalog
+    pmp-repro scenarios run thrash-00   # expected:-gated scenario run
+    pmp-repro fig8 --scenario tenants-00 --scenario thrash-00
 
 Simulation-backed commands persist their results under ``--cache-dir``
 (default ``.repro-cache/``) keyed by a content hash of (trace, prefetcher
@@ -65,16 +68,32 @@ from .experiments import (
     table_i_report,
     trigger_offset_width_sweep,
 )
+from .experiments.runner import DEFAULT_ACCESSES
 from .experiments.sensitivity import sweep_report as sensitivity_report
-from .memtrace.workloads import full_suite, quick_suite
+from .memtrace.workloads import compile_catalog, full_suite, quick_suite
 from .storage import table_v
 from .experiments.report import event_counter_report, format_table
 
 
 def _specs(args: argparse.Namespace):
+    if getattr(args, "scenario", None):
+        from .scenarios import load_catalog
+
+        catalog = load_catalog(args.catalog)
+        return compile_catalog([catalog.get(name) for name in args.scenario],
+                               catalog.directory)
     if args.full_suite:
-        return full_suite()
-    return quick_suite()[:args.traces] if args.traces else quick_suite()
+        return full_suite(_catalog(args))
+    suite = quick_suite(_catalog(args))
+    return suite[:args.traces] if args.traces else suite
+
+
+def _catalog(args: argparse.Namespace):
+    if not getattr(args, "catalog", None):
+        return None
+    from .scenarios import load_catalog
+
+    return load_catalog(args.catalog)
 
 
 def _journal(args: argparse.Namespace) -> RunJournal | None:
@@ -268,17 +287,30 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "bench":
         from .bench.cli import bench_main
         return bench_main(argv[1:])
+    # `pmp-repro scenarios ...` is the declarative workload catalog
+    # (list/show/validate/run); like bench it owns its own argument set.
+    if argv and argv[0] == "scenarios":
+        from .scenarios.cli import scenarios_main
+        return scenarios_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="pmp-repro",
         description="Reproduce the PMP paper's tables and figures.")
     parser.add_argument("experiment", choices=list(COMMANDS) + ["all"],
                         help="which table/figure to regenerate")
-    parser.add_argument("--accesses", type=int, default=25_000,
-                        help="trace length (memory accesses) per workload")
+    parser.add_argument("--accesses", type=int, default=DEFAULT_ACCESSES,
+                        help="trace length (memory accesses) per workload "
+                             "(default: the catalog's scale defaults)")
     parser.add_argument("--traces", type=int, default=0,
                         help="limit the number of quick-suite traces")
     parser.add_argument("--full-suite", action="store_true",
                         help="use all 125 workloads (slow)")
+    parser.add_argument("--scenario", action="append", default=[],
+                        metavar="NAME",
+                        help="run on this catalog scenario instead of the "
+                             "quick suite (repeatable)")
+    parser.add_argument("--catalog", default=None, metavar="DIR",
+                        help="scenario catalog directory (default: "
+                             "<repo>/scenarios, or $REPRO_SCENARIOS)")
     parser.add_argument("--trace-cache", default="",
                         help="directory to cache built traces between runs")
     parser.add_argument("--workers", type=int, default=0,

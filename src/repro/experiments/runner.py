@@ -36,6 +36,7 @@ from ..memtrace.store import TraceStore
 from ..memtrace.trace import Trace
 from ..memtrace.workloads import WorkloadSpec, quick_suite
 from ..prefetchers.base import NoPrefetcher, Prefetcher
+from ..scenarios.catalog import scale_defaults
 from ..sim.params import SystemConfig
 from ..sim.stats import SimResult, geomean
 from .cache import ResultCache
@@ -46,7 +47,10 @@ from .manifest import RunManifest
 
 PrefetcherFactory = Callable[[], Prefetcher]
 
-DEFAULT_ACCESSES = 25_000
+# The experiment trace length resolves through the scenario catalog's
+# [defaults.scale] table (scenarios/catalog.toml) — one source of truth
+# shared with the CLI default and the bench harness.
+DEFAULT_ACCESSES = scale_defaults("experiment_accesses")
 
 
 @dataclass

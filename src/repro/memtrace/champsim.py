@@ -16,16 +16,25 @@ records (one per instruction)::
     uint64 source_memory[4];        // load addresses  (0 = unused)
 
 i.e. 8 + 2 + 2 + 4 + 16 + 32 = 64 bytes per record.  Traces ship
-xz-compressed; pass a file object from :mod:`lzma` for ``.xz`` inputs.
+xz-compressed; ``.xz`` paths are opened through :mod:`lzma`
+automatically (or pass any binary file object yourself).
 
 Conversion policy: each memory operand becomes one :class:`MemoryAccess`;
 instructions without memory operands accumulate into the next access's
 ``gap`` (the non-memory instruction count the timing model charges).
+
+Decoding is streaming and bounded-memory: records are consumed one
+64-byte chunk at a time and windowed reads (``skip_instructions`` /
+``max_instructions``) stop pulling bytes at the window's end, so a 200M-
+instruction trace costs only its window.  Malformed inputs raise a
+structured :class:`ChampSimFormatError` (a :class:`ValueError`) carrying
+the source name, byte offset and record index of the defect.
 """
 
 from __future__ import annotations
 
 import io
+import lzma
 import struct
 from pathlib import Path
 from typing import BinaryIO, Iterator
@@ -38,6 +47,67 @@ _RECORD = struct.Struct("<Q2B2B4B2Q4Q")
 
 NUM_DESTINATION_MEMORY = 2
 NUM_SOURCE_MEMORY = 4
+
+# Path suffixes recognised by directory ingestion (resolve_sources).
+TRACE_SUFFIXES = (".champsim", ".champsimtrace", ".trace", ".xz", ".bin")
+
+
+class ChampSimFormatError(ValueError):
+    """A ChampSim input stream is truncated or structurally corrupt."""
+
+    def __init__(self, message: str, *, source: str = "<stream>",
+                 record_index: int | None = None,
+                 byte_offset: int | None = None) -> None:
+        self.source = source
+        self.record_index = record_index
+        self.byte_offset = byte_offset
+        context = source
+        if record_index is not None:
+            context += f", record {record_index}"
+        if byte_offset is not None:
+            context += f", byte {byte_offset}"
+        super().__init__(f"{context}: {message}")
+
+
+def open_champsim(path: str | Path) -> BinaryIO:
+    """Open a trace file for reading, decompressing ``.xz`` transparently."""
+    path = Path(path)
+    if path.suffix == ".xz":
+        return lzma.open(path, "rb")
+    return path.open("rb")
+
+
+def resolve_sources(path: str | Path,
+                    base_dir: str | Path | None = None) -> list[Path]:
+    """Expand a scenario's champsim source path into concrete trace files.
+
+    ``path`` may be a single file, a directory (every file with a
+    recognised trace suffix, sorted), or a glob pattern.  Relative paths
+    resolve against ``base_dir`` (the catalog directory for catalog
+    scenarios).  This is the bulk-ingestion front door: a directory of
+    DPC traces becomes one workload per file.
+    """
+    raw = Path(path)
+    if not raw.is_absolute() and base_dir is not None:
+        raw = Path(base_dir) / raw
+    if raw.is_dir():
+        files = sorted(p for p in raw.iterdir()
+                       if p.is_file() and p.suffix in TRACE_SUFFIXES)
+        if not files:
+            raise ChampSimFormatError(
+                "directory holds no trace files "
+                f"(recognised suffixes: {', '.join(TRACE_SUFFIXES)})",
+                source=str(raw))
+        return files
+    if any(ch in raw.name for ch in "*?["):
+        files = sorted(raw.parent.glob(raw.name))
+        if not files:
+            raise ChampSimFormatError("glob matched no trace files",
+                                      source=str(raw))
+        return files
+    if not raw.is_file():
+        raise ChampSimFormatError("no such trace file", source=str(raw))
+    return [raw]
 
 
 def pack_record(ip: int, *, is_branch: bool = False, branch_taken: bool = False,
@@ -55,20 +125,41 @@ def pack_record(ip: int, *, is_branch: bool = False, branch_taken: bool = False,
                         0, 0, 0, 0, 0, 0, *dmem, *smem)
 
 
-def iter_records(stream: BinaryIO) -> Iterator[tuple[int, list[int], list[int]]]:
-    """Yield (ip, load addresses, store addresses) per instruction record."""
+def iter_records(stream: BinaryIO, *, source: str = "<stream>",
+                 ) -> Iterator[tuple[int, list[int], list[int]]]:
+    """Yield (ip, load addresses, store addresses) per instruction record.
+
+    Streams one record at a time (bounded memory regardless of input
+    size) and raises :class:`ChampSimFormatError` on a truncated tail or
+    a record the struct layer rejects.
+    """
+    index = 0
     while True:
         chunk = stream.read(RECORD_BYTES)
         if not chunk:
             return
-        if len(chunk) != RECORD_BYTES:
-            raise ValueError("truncated ChampSim record "
-                             f"({len(chunk)} of {RECORD_BYTES} bytes)")
-        fields = _RECORD.unpack(chunk)
+        # Compressed streams may return short reads mid-file; keep
+        # pulling until the record is complete or the stream truly ends.
+        while len(chunk) < RECORD_BYTES:
+            more = stream.read(RECORD_BYTES - len(chunk))
+            if not more:
+                raise ChampSimFormatError(
+                    f"truncated record ({len(chunk)} of {RECORD_BYTES} "
+                    "bytes)", source=source, record_index=index,
+                    byte_offset=index * RECORD_BYTES)
+            chunk += more
+        try:
+            fields = _RECORD.unpack(chunk)
+        except struct.error as exc:  # pragma: no cover — 64B always unpacks
+            raise ChampSimFormatError(f"undecodable record: {exc}",
+                                      source=source, record_index=index,
+                                      byte_offset=index * RECORD_BYTES,
+                                      ) from exc
         ip = fields[0]
         dmem = [a for a in fields[8:10] if a]
         smem = [a for a in fields[10:14] if a]
         yield ip, smem, dmem
+        index += 1
 
 
 def read_champsim(source: str | Path | BinaryIO, *, name: str = "champsim",
@@ -77,19 +168,22 @@ def read_champsim(source: str | Path | BinaryIO, *, name: str = "champsim",
     """Convert a ChampSim trace (raw records) into a :class:`Trace`.
 
     ``skip_instructions`` / ``max_instructions`` select a window the way
-    the paper does (50M warmup + 200M measured).  For ``.xz`` inputs open
-    the file with :func:`lzma.open` and pass the file object.
+    the paper does (50M warmup + 200M measured); decoding stops pulling
+    bytes once the window is satisfied.  ``.xz`` paths are decompressed
+    automatically.
     """
     if isinstance(source, (str, Path)):
-        stream: BinaryIO = open(source, "rb")
+        stream: BinaryIO = open_champsim(source)
         close = True
+        label = str(source)
     else:
         stream, close = source, False
+        label = getattr(source, "name", "<stream>") or "<stream>"
     try:
         trace = Trace(name=name, family="champsim")
         gap = 0
         seen = 0
-        for ip, loads, stores in iter_records(stream):
+        for ip, loads, stores in iter_records(stream, source=str(label)):
             seen += 1
             if seen <= skip_instructions:
                 continue

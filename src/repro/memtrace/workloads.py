@@ -1,33 +1,46 @@
-"""The 125-trace workload suite.
+"""The workload suite: a thin compiler from scenario specs to traces.
 
 The paper evaluates on 125 traces: 38 from SPEC CPU 2006, 36 from SPEC CPU
 2017, 42 from Ligra, and 9 from PARSEC (Table VI).  Those traces are not
-redistributable, so this module defines a synthetic suite with the same
-family split.  Each family gets a characteristic recipe:
+redistributable, so this repo ships a synthetic suite with the same family
+split — but the recipes no longer live in Python: every workload is a
+declarative scenario spec in the committed catalog under
+``<repo>/scenarios/`` (see :mod:`repro.scenarios` and
+``docs/workloads.md``).  This module compiles those specs into buildable
+:class:`WorkloadSpec` objects:
 
-* **spec06 / spec17** — regular scientific/desktop mixes: streams, constant
-  strides, MCF-style backward scans, neighbourhood walks and replayed
-  hot region patterns, with per-trace parameter variation (stride values,
-  mix weights, noise) so the 74 traces are distinct programs, not clones.
-* **ligra** — graph traversals plus pointer chasing (irregular-heavy).
-* **parsec** — streaming-dominated mixes with a pointer-chasing tail.
+* ``kind="synthetic"`` scenarios compile to a recipe that feeds the
+  spec's weighted generator parts through
+  :func:`repro.memtrace.synthetic.compose` — bit-identical to the
+  pre-catalog hard-coded recipes (pinned by
+  ``tests/golden/scenario_catalog_hashes.json``);
+* ``kind="champsim"`` scenarios compile to a loader over real ChampSim
+  trace files via :mod:`repro.memtrace.champsim`, so DPC/Pythia traces
+  and the synthetic catalog run through one code path.
 
-Every trace is deterministic in its (name, seed); ``build()`` materialises
-it at a chosen size.  ``quick_suite`` picks a small representative subset
-for fast experiment/benchmark runs; ``full_suite`` enumerates all 125.
+Every trace is deterministic in its (name, seed); ``build()``
+materialises it at a chosen size.  ``quick_suite`` picks a small
+representative subset for fast experiment/benchmark runs; ``full_suite``
+enumerates all 125 (the catalog scenarios tagged ``suite``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..scenarios.catalog import Catalog, cached_catalog, scale_defaults
+from ..scenarios.spec import GENERATORS, ScenarioSpec
 from . import synthetic as syn
 from .trace import Trace
 
-DEFAULT_TRACE_ACCESSES = 60_000
+# The one source of truth for trace lengths is the catalog's
+# [defaults.scale] table (scenarios/catalog.toml); this module-level
+# constant is its import-time snapshot.
+DEFAULT_TRACE_ACCESSES = scale_defaults("accesses")
 
 
 @dataclass(frozen=True)
@@ -47,90 +60,101 @@ class WorkloadSpec:
         return trace
 
 
-def _spec_recipe(index: int) -> Callable[[np.random.Generator, int], list]:
-    """SPEC-like mix: weights and strides vary with the trace index."""
-    stride = [2, 3, 4, 5, 7][index % 5]
-    backward_w = 0.25 if index % 4 == 0 else 0.08  # every 4th trace is MCF-like
-    stream_w = 0.08 + 0.04 * (index % 3)
-    noise = 0.02 + 0.02 * (index % 4)
+# ----------------------------------------------------- spec compilation
+
+def _synthetic_recipe(spec: ScenarioSpec,
+                      ) -> Callable[[np.random.Generator, int], list]:
+    """Compile a synthetic scenario's parts into a compose() recipe."""
 
     def recipe(rng: np.random.Generator, total: int) -> list:
-        """Build this SPEC-like trace's access stream."""
-        parts = [
-            (syn.stream, {"segment": 0, "gap": 44 + 2 * (index % 5)}, stream_w),
-            (syn.strided, {"stride": stride, "segment": 1}, 0.10),
-            (syn.backward_scan, {"segment": 2}, backward_w),
-            (syn.neighborhood_walk, {"segment": 3, "spread": 2 + index % 3}, 0.10),
-            (syn.pattern_replay, {"segment": 4, "noise": noise}, 0.50),
-            (syn.pointer_chase, {"segment": 5, "working_lines": 1 << (14 + index % 3)}, 0.08),
-        ]
-        return syn.compose(rng, parts, total, epochs=2 + index % 2)
+        parts = [(GENERATORS[part.generator], dict(part.params), part.weight)
+                 for part in spec.parts]
+        return syn.compose(rng, parts, total, epochs=spec.epochs)
 
     return recipe
 
 
-def _ligra_recipe(index: int) -> Callable[[np.random.Generator, int], list]:
-    """Graph-analytics mix: traversal-dominated, heavy irregular tail."""
-    degree = 4 + 2 * (index % 5)
-    vertices = 1 << (13 + index % 3)
+def _champsim_recipe(spec: ScenarioSpec, path: Path,
+                     ) -> Callable[[np.random.Generator, int], list]:
+    """Compile a champsim scenario into a bounded trace-file loader."""
 
     def recipe(rng: np.random.Generator, total: int) -> list:
-        """Build this Ligra-like trace's access stream."""
-        parts = [
-            (syn.graph_traversal,
-             {"segment": 6, "n_vertices": vertices, "avg_degree": degree}, 0.55),
-            (syn.pointer_chase, {"segment": 5, "working_lines": vertices}, 0.20),
-            (syn.stream, {"segment": 0, "gap": 46}, 0.10),
-            (syn.pattern_replay, {"segment": 4, "noise": 0.08}, 0.15),
-        ]
-        return syn.compose(rng, parts, total)
+        from .champsim import read_champsim
+
+        trace = read_champsim(
+            path, name=spec.name,
+            skip_instructions=int(spec.source.get("skip_instructions", 0)),
+            max_instructions=spec.source.get("max_instructions"))
+        return trace.accesses[:total]
 
     return recipe
 
 
-def _parsec_recipe(index: int) -> Callable[[np.random.Generator, int], list]:
-    """Streaming-pipeline mix (fluidanimate/streamcluster-like)."""
-    stride = [1, 2, 4][index % 3]
+def compile_scenario(spec: ScenarioSpec,
+                     base_dir: str | Path | None = None) -> WorkloadSpec:
+    """Compile one scenario spec into a buildable :class:`WorkloadSpec`.
 
-    def recipe(rng: np.random.Generator, total: int) -> list:
-        """Build this PARSEC-like trace's access stream."""
-        parts = [
-            (syn.stream, {"segment": 0, "gap": 44}, 0.25),
-            (syn.strided, {"stride": stride, "segment": 1}, 0.15),
-            (syn.neighborhood_walk, {"segment": 3, "spread": 4}, 0.15),
-            (syn.pointer_chase, {"segment": 5, "working_lines": 1 << 15}, 0.10),
-            (syn.pattern_replay, {"segment": 4}, 0.35),
-        ]
-        return syn.compose(rng, parts, total)
-
-    return recipe
-
-
-_FAMILY_PLAN = (
-    ("spec06", 38, _spec_recipe, 1000),
-    ("spec17", 36, _spec_recipe, 2000),
-    ("ligra", 42, _ligra_recipe, 3000),
-    ("parsec", 9, _parsec_recipe, 4000),
-)
+    ``base_dir`` anchors relative champsim source paths (the catalog
+    passes its own directory).  A champsim scenario whose source names a
+    directory or glob expands to *several* workloads — use
+    :func:`expand_scenario` for those; this function raises on them.
+    """
+    if spec.kind == "synthetic":
+        return WorkloadSpec(name=spec.name, family=spec.family,
+                            seed=spec.seed, recipe=_synthetic_recipe(spec))
+    workloads = expand_scenario(spec, base_dir)
+    if len(workloads) != 1:
+        raise ValueError(
+            f"scenario {spec.name!r} expands to {len(workloads)} workloads "
+            "(directory/glob source); use expand_scenario()")
+    return workloads[0]
 
 
-def full_suite() -> list[WorkloadSpec]:
-    """All 125 workload specs with the paper's family split (Table VI)."""
-    specs: list[WorkloadSpec] = []
-    for family, count, recipe_factory, seed_base in _FAMILY_PLAN:
-        for i in range(count):
-            specs.append(WorkloadSpec(
-                name=f"{family}-{i:02d}",
-                family=family,
-                seed=seed_base + i,
-                recipe=recipe_factory(i),
-            ))
-    return specs
+def expand_scenario(spec: ScenarioSpec,
+                    base_dir: str | Path | None = None) -> list[WorkloadSpec]:
+    """Compile a scenario to its workload list (1 for synthetic/file
+    sources; one per trace file for champsim directory/glob sources)."""
+    if spec.kind == "synthetic":
+        return [compile_scenario(spec)]
+    from .champsim import resolve_sources
+
+    paths = resolve_sources(spec.source["path"], base_dir)
+    if len(paths) == 1:
+        return [WorkloadSpec(name=spec.name, family=spec.family,
+                             seed=spec.seed,
+                             recipe=_champsim_recipe(spec, paths[0]))]
+    return [WorkloadSpec(name=f"{spec.name}/{path.stem}", family=spec.family,
+                         seed=spec.seed,
+                         recipe=_champsim_recipe(spec, path))
+            for path in paths]
 
 
-def quick_suite() -> list[WorkloadSpec]:
+def compile_catalog(specs: Sequence[ScenarioSpec],
+                    base_dir: str | Path | None = None) -> list[WorkloadSpec]:
+    """Compile many scenarios, expanding champsim directory sources."""
+    out: list[WorkloadSpec] = []
+    for spec in specs:
+        out.extend(expand_scenario(spec, base_dir))
+    return out
+
+
+# ------------------------------------------------------- suite selection
+
+def full_suite(catalog: Catalog | None = None) -> list[WorkloadSpec]:
+    """All 125 workload specs with the paper's family split (Table VI).
+
+    Backed by the scenario catalog: the suite is every scenario tagged
+    ``suite``, in seed order (which reproduces the legacy spec06 →
+    spec17 → ligra → parsec enumeration).
+    """
+    catalog = catalog or cached_catalog()
+    return [compile_scenario(spec, catalog.directory)
+            for spec in catalog.suite()]
+
+
+def quick_suite(catalog: Catalog | None = None) -> list[WorkloadSpec]:
     """A small representative subset (2 per family + extremes) for fast runs."""
-    by_name = {spec.name: spec for spec in full_suite()}
+    by_name = {spec.name: spec for spec in full_suite(catalog)}
     names = [
         "spec06-00",   # MCF-like (backward-heavy)
         "spec06-01",
@@ -144,9 +168,10 @@ def quick_suite() -> list[WorkloadSpec]:
     return [by_name[name] for name in names]
 
 
-def suite_by_family(family: str) -> list[WorkloadSpec]:
-    """All specs of one family ('spec06', 'spec17', 'ligra', 'parsec')."""
-    return [spec for spec in full_suite() if spec.family == family]
+def suite_by_family(family: str,
+                    catalog: Catalog | None = None) -> list[WorkloadSpec]:
+    """All suite specs of one family ('spec06', 'spec17', 'ligra', 'parsec')."""
+    return [spec for spec in full_suite(catalog) if spec.family == family]
 
 
 def build_suite(specs: Sequence[WorkloadSpec] | None = None,

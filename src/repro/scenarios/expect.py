@@ -1,0 +1,165 @@
+"""``expected:`` blocks — post-run assertions over simulation results.
+
+A scenario may declare what a correct run must look like: minimum
+normalized IPC per prefetcher, coverage/accuracy floors, memory-traffic
+ceilings, a NIPC ordering between prefetchers, and MPKI bounds on the
+trace itself.  :func:`evaluate_expected` checks every assertion and
+returns all passes and failures; ``pmp-repro scenarios run`` exits
+non-zero when any assertion fails.
+
+Bound assertions (``min_nipc``, ``max_nipc``, ``max_nmt``,
+``min_coverage``, ``min_accuracy``) take either a bare number — applied
+to every prefetcher the run simulated — or a ``{prefetcher = bound}``
+table.  Coverage is measured at ``coverage_level`` (default ``l1d``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..memtrace.trace import Trace
+from ..sim.stats import SimResult
+
+
+@dataclass
+class ExpectationReport:
+    """Outcome of evaluating one scenario's ``expected:`` block."""
+
+    passed: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def merge(self, other: "ExpectationReport") -> None:
+        self.passed.extend(other.passed)
+        self.failed.extend(other.failed)
+
+    def lines(self) -> list[str]:
+        return ([f"  PASS {line}" for line in self.passed] +
+                [f"  FAIL {line}" for line in self.failed])
+
+
+def _bounds(value, results: Mapping[str, SimResult]) -> dict[str, float]:
+    """Normalise a bound spec to {prefetcher: bound}."""
+    if isinstance(value, Mapping):
+        return {name: float(bound) for name, bound in value.items()}
+    return {name: float(value) for name in results}
+
+
+def _check_bound(report: ExpectationReport, label: str, prefetcher: str,
+                 actual: float | None, bound: float, *,
+                 at_least: bool) -> None:
+    if actual is None:
+        report.failed.append(
+            f"{label}[{prefetcher}]: prefetcher was not simulated "
+            "(add it to sim.prefetchers or --prefetcher)")
+        return
+    op = ">=" if at_least else "<="
+    ok = actual >= bound if at_least else actual <= bound
+    line = f"{label}[{prefetcher}]: {actual:.4f} {op} {bound:.4f}"
+    (report.passed if ok else report.failed).append(line)
+
+
+def evaluate_expected(expected: Mapping, *, trace: Trace,
+                      results: Mapping[str, SimResult],
+                      baseline: SimResult | None = None,
+                      ) -> ExpectationReport:
+    """Evaluate one scenario's assertions against one trace's runs.
+
+    ``results`` maps prefetcher name to its run on this trace;
+    ``baseline`` is the no-prefetcher run (needed for NIPC/NMT/coverage
+    assertions — their absence when required is itself a failure, not a
+    crash).
+    """
+    report = ExpectationReport()
+    if not expected:
+        return report
+
+    level = expected.get("coverage_level", "l1d")
+
+    if "min_mpki" in expected or "max_mpki" in expected:
+        mpki = trace.estimated_mpki()
+        if "min_mpki" in expected:
+            bound = float(expected["min_mpki"])
+            line = f"min_mpki: {mpki:.2f} >= {bound:.2f}"
+            (report.passed if mpki >= bound else report.failed).append(line)
+        if "max_mpki" in expected:
+            bound = float(expected["max_mpki"])
+            line = f"max_mpki: {mpki:.2f} <= {bound:.2f}"
+            (report.passed if mpki <= bound else report.failed).append(line)
+
+    if "min_ipc" in expected:
+        bound = float(expected["min_ipc"])
+        for name, result in results.items():
+            _check_bound(report, "min_ipc", name, result.ipc, bound,
+                         at_least=True)
+
+    needs_baseline = [key for key in ("min_nipc", "max_nipc", "max_nmt",
+                                      "min_coverage", "nipc_order")
+                      if key in expected]
+    if needs_baseline and baseline is None:
+        report.failed.append(
+            f"{'/'.join(needs_baseline)}: need a no-prefetcher baseline "
+            "run to evaluate")
+        return report
+
+    for key, at_least in (("min_nipc", True), ("max_nipc", False)):
+        if key in expected:
+            for name, bound in _bounds(expected[key], results).items():
+                result = results.get(name)
+                actual = result.nipc(baseline) if result else None
+                _check_bound(report, key, name, actual, bound,
+                             at_least=at_least)
+
+    if "max_nmt" in expected:
+        for name, bound in _bounds(expected["max_nmt"], results).items():
+            result = results.get(name)
+            actual = result.nmt(baseline) if result else None
+            _check_bound(report, "max_nmt", name, actual, bound,
+                         at_least=False)
+
+    if "min_coverage" in expected:
+        for name, bound in _bounds(expected["min_coverage"],
+                                   results).items():
+            result = results.get(name)
+            actual = result.coverage(baseline, level) if result else None
+            _check_bound(report, f"min_coverage@{level}", name, actual,
+                         bound, at_least=True)
+
+    if "min_accuracy" in expected:
+        for name, bound in _bounds(expected["min_accuracy"],
+                                   results).items():
+            result = results.get(name)
+            actual = result.accuracy(level) if result else None
+            _check_bound(report, f"min_accuracy@{level}", name, actual,
+                         bound, at_least=True)
+
+    if "nipc_order" in expected:
+        order = list(expected["nipc_order"])
+        missing = [name for name in order if name not in results]
+        if missing:
+            report.failed.append(
+                f"nipc_order: prefetcher(s) {missing} were not simulated")
+        else:
+            nipcs = [(name, results[name].nipc(baseline)) for name in order]
+            ok = all(a[1] >= b[1] for a, b in zip(nipcs, nipcs[1:]))
+            rendered = " >= ".join(f"{name}({value:.4f})"
+                                   for name, value in nipcs)
+            (report.passed if ok else report.failed).append(
+                f"nipc_order: {rendered}")
+    return report
+
+
+def prefetchers_under_test(expected: Mapping) -> set[str]:
+    """Prefetcher names an ``expected:`` block references (to auto-run)."""
+    names: set[str] = set()
+    for key in ("min_nipc", "max_nipc", "max_nmt", "min_coverage",
+                "min_accuracy"):
+        value = expected.get(key)
+        if isinstance(value, Mapping):
+            names.update(value)
+    names.update(expected.get("nipc_order", ()))
+    return names

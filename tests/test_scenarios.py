@@ -1,0 +1,354 @@
+"""The declarative scenario layer: specs, schema, catalog, expected-gating.
+
+The load-bearing test is :class:`TestGoldenBitIdentity`: the committed
+catalog must rebuild the legacy 125-trace suite (and the bench pins)
+bit-identically, pinned by content hashes captured from the pre-catalog
+hard-coded recipes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.memtrace.champsim import pack_record
+from repro.memtrace.workloads import (
+    DEFAULT_TRACE_ACCESSES,
+    compile_scenario,
+    expand_scenario,
+    full_suite,
+    quick_suite,
+)
+from repro.scenarios import (
+    CatalogNotFound,
+    ScenarioError,
+    ScenarioSpec,
+    cached_catalog,
+    dumps_scenarios,
+    load_catalog,
+    parse_scenario_text,
+    scale_defaults,
+    validate_scenario_doc,
+)
+from repro.scenarios.cli import scenarios_main
+
+GOLDEN = Path(__file__).parent / "golden" / "scenario_catalog_hashes.json"
+
+MINIMAL = """\
+schema_version = 1
+
+[scenario]
+name = "demo"
+family = "demo"
+seed = 42
+
+[[scenario.recipe.parts]]
+generator = "stream"
+weight = 1.0
+"""
+
+
+def _doc(**overrides):
+    import tomllib
+    doc = tomllib.loads(MINIMAL)
+    doc["scenario"].update(overrides)
+    return doc
+
+
+class TestRoundTrip:
+    def test_parse_dump_parse_is_identity(self):
+        specs = parse_scenario_text(MINIMAL)
+        text = dumps_scenarios(specs)
+        assert parse_scenario_text(text) == specs
+
+    def test_catalog_specs_survive_a_dump_parse_cycle(self):
+        catalog = cached_catalog()
+        for spec in catalog.select():
+            assert parse_scenario_text(spec.to_toml()) == [spec]
+
+    def test_floats_round_trip_exactly(self):
+        # 0.08 + 0.04*2 = 0.12000000000000001: the catalog's recipe
+        # weights carry full float precision through TOML (repr-based
+        # emission), which the golden bit-identity depends on.
+        weight = 0.08 + 0.04 * 2
+        spec = parse_scenario_text(MINIMAL)[0]
+        part = spec.parts[0]
+        tweaked = ScenarioSpec(
+            name=spec.name, family=spec.family, seed=spec.seed,
+            parts=(type(part)(part.generator, weight, part.params),))
+        back = parse_scenario_text(tweaked.to_toml())[0]
+        assert back.parts[0].weight == weight
+
+    def test_multi_scenario_files_use_array_tables(self):
+        spec = parse_scenario_text(MINIMAL)[0]
+        other = ScenarioSpec(name="demo2", family="demo", seed=43,
+                             parts=spec.parts)
+        text = dumps_scenarios([spec, other])
+        assert "[[scenario]]" in text
+        assert parse_scenario_text(text) == [spec, other]
+
+
+class TestSchemaRejections:
+    def test_all_problems_reported_at_once(self):
+        doc = _doc()
+        del doc["scenario"]["seed"]
+        doc["scenario"]["mystery"] = 1
+        problems = validate_scenario_doc(doc)
+        assert any("seed" in p for p in problems)
+        assert any("mystery" in p for p in problems)
+
+    def test_unknown_generator_lists_known_ones(self):
+        doc = _doc(recipe={"parts": [{"generator": "warp", "weight": 1.0}]})
+        problems = validate_scenario_doc(doc)
+        assert any("unknown generator 'warp'" in p and "stream" in p
+                   for p in problems)
+
+    def test_nonpositive_weight_rejected(self):
+        doc = _doc(recipe={"parts": [{"generator": "stream", "weight": 0}]})
+        assert any("positive number" in p
+                   for p in validate_scenario_doc(doc))
+
+    def test_synthetic_rejects_source(self):
+        doc = _doc(source={"path": "x.trace"})
+        assert any("only champsim scenarios" in p
+                   for p in validate_scenario_doc(doc))
+
+    def test_champsim_requires_source(self):
+        doc = _doc(kind="champsim")
+        del doc["scenario"]["recipe"]
+        assert any("need a source" in p for p in validate_scenario_doc(doc))
+
+    def test_bad_sim_config_key_rejected(self):
+        doc = _doc(sim={"config": {"l1_size": 1024}})
+        assert any("unknown override 'l1_size'" in p
+                   for p in validate_scenario_doc(doc))
+
+    def test_bad_expected_assertion_rejected(self):
+        doc = _doc(expected={"min_speedup": 2.0})
+        assert any("unknown assertion(s) ['min_speedup']" in p
+                   for p in validate_scenario_doc(doc))
+
+    def test_wrong_schema_version_rejected(self):
+        import tomllib
+        doc = tomllib.loads(MINIMAL)
+        doc["schema_version"] = 99
+        assert any("schema_version" in p for p in validate_scenario_doc(doc))
+
+    def test_parse_raises_scenario_error_with_problem_list(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            parse_scenario_text(MINIMAL.replace('seed = 42\n', ''))
+        assert any("seed" in p for p in excinfo.value.problems)
+
+    def test_yaml_without_pyyaml_has_a_clear_message(self, tmp_path):
+        try:
+            import yaml  # noqa: F401
+            pytest.skip("PyYAML installed; the gate cannot trip")
+        except ImportError:
+            pass
+        path = tmp_path / "spec.yaml"
+        path.write_text("schema_version: 1\n")
+        with pytest.raises(ScenarioError, match="PyYAML"):
+            from repro.scenarios import parse_scenario_file
+            parse_scenario_file(path)
+
+
+class TestCatalog:
+    def test_committed_catalog_loads(self):
+        catalog = load_catalog()
+        assert len(catalog.select()) >= 125
+
+    def test_suite_selection_is_the_paper_split(self):
+        suite = cached_catalog().suite()
+        families = {}
+        for spec in suite:
+            families[spec.family] = families.get(spec.family, 0) + 1
+        assert families == {"spec06": 38, "spec17": 36, "ligra": 42,
+                            "parsec": 9}
+
+    def test_suite_is_seed_ordered(self):
+        seeds = [s.seed for s in cached_catalog().suite()]
+        assert seeds == sorted(seeds)
+
+    def test_unknown_name_suggests_neighbours(self):
+        with pytest.raises(KeyError, match="spec06-00"):
+            cached_catalog().get("spec06-000")
+
+    def test_duplicate_names_across_files_rejected(self, tmp_path):
+        text = MINIMAL
+        (tmp_path / "a.toml").write_text(text)
+        (tmp_path / "b.toml").write_text(text)
+        with pytest.raises(ScenarioError, match="duplicate"):
+            load_catalog(tmp_path)
+
+    def test_missing_directory_raises_catalog_not_found(self, tmp_path):
+        with pytest.raises(CatalogNotFound):
+            load_catalog(tmp_path / "nowhere")
+
+    def test_scale_defaults_are_the_one_source_of_truth(self):
+        assert DEFAULT_TRACE_ACCESSES == scale_defaults("accesses")
+        from repro.bench.macro import MACRO_ACCESSES, MACRO_SMOKE_ACCESSES
+        from repro.experiments.runner import DEFAULT_ACCESSES
+        assert DEFAULT_ACCESSES == scale_defaults("experiment_accesses")
+        assert MACRO_ACCESSES == scale_defaults("bench_accesses")
+        assert MACRO_SMOKE_ACCESSES == scale_defaults("smoke_accesses")
+
+    def test_env_override_changes_default_dir(self, tmp_path, monkeypatch):
+        (tmp_path / "only.toml").write_text(MINIMAL)
+        monkeypatch.setenv("REPRO_SCENARIOS", str(tmp_path))
+        from repro.scenarios import default_catalog_dir, invalidate_cache
+        invalidate_cache()
+        try:
+            assert default_catalog_dir() == tmp_path
+            assert load_catalog().select()[0].name == "demo"
+        finally:
+            invalidate_cache()
+
+
+class TestGoldenBitIdentity:
+    def test_catalog_rebuilds_the_legacy_suite_bit_identically(self):
+        golden = json.loads(GOLDEN.read_text())
+        pin = golden["pin_accesses"]
+        catalog = cached_catalog()
+        mismatches = []
+        for workload in full_suite(catalog):
+            if golden["hashes"][workload.name] != \
+                    workload.build(pin).content_hash():
+                mismatches.append(workload.name)
+        assert not mismatches, f"catalog drifted from legacy: {mismatches}"
+
+    def test_bench_pins_are_bit_identical(self):
+        golden = json.loads(GOLDEN.read_text())
+        bench = golden["bench_accesses"]
+        catalog = cached_catalog()
+        for name in ("spec06-00", "hot-loop-00"):
+            workload = compile_scenario(catalog.get(name), catalog.directory)
+            assert golden["hashes"][f"{name}@{bench}"] == \
+                workload.build(bench).content_hash()
+
+    def test_quick_suite_still_spans_families(self):
+        assert {s.family for s in quick_suite()} == \
+            {"spec06", "spec17", "ligra", "parsec"}
+
+
+class TestChampsimScenarios:
+    def _write_trace(self, path, n, start=1):
+        path.write_bytes(b"".join(
+            pack_record(0x400, source_memory=(i * 64,))
+            for i in range(start, start + n)))
+
+    def test_champsim_scenario_compiles_and_builds(self, tmp_path):
+        self._write_trace(tmp_path / "t.trace", 50)
+        spec = parse_scenario_text("""\
+schema_version = 1
+
+[scenario]
+name = "real"
+family = "champsim"
+kind = "champsim"
+
+[scenario.source]
+path = "t.trace"
+""")[0]
+        workload = compile_scenario(spec, base_dir=tmp_path)
+        trace = workload.build(20)
+        assert len(trace) == 20
+        assert [a.address for a in trace.accesses[:3]] == [64, 128, 192]
+
+    def test_directory_source_expands_per_file(self, tmp_path):
+        self._write_trace(tmp_path / "a.trace", 10)
+        self._write_trace(tmp_path / "b.trace", 10, start=100)
+        spec = parse_scenario_text("""\
+schema_version = 1
+
+[scenario]
+name = "bulk"
+family = "champsim"
+kind = "champsim"
+
+[scenario.source]
+path = "."
+""")[0]
+        workloads = expand_scenario(spec, base_dir=tmp_path)
+        assert [w.name for w in workloads] == ["bulk/a", "bulk/b"]
+        with pytest.raises(ValueError, match="expands to 2"):
+            compile_scenario(spec, base_dir=tmp_path)
+
+
+class TestCliExitCodes:
+    def _spec_file(self, tmp_path, expected_block):
+        path = tmp_path / "spec.toml"
+        path.write_text(f"""\
+schema_version = 1
+
+[scenario]
+name = "gate-demo"
+family = "demo"
+seed = 11
+
+[scenario.scale]
+accesses = 2000
+
+[[scenario.recipe.parts]]
+generator = "stream"
+weight = 1.0
+
+[scenario.expected]
+{expected_block}
+""")
+        return str(path)
+
+    def test_passing_expectations_exit_zero(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path, "max_mpki = 500.0")
+        assert scenarios_main(["run", "--spec", path]) == 0
+        assert "PASS max_mpki" in capsys.readouterr().out
+
+    def test_failing_expectations_exit_one(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path, "min_mpki = 500.0")
+        assert scenarios_main(["run", "--spec", path]) == 1
+        assert "FAIL min_mpki" in capsys.readouterr().out
+
+    def test_no_gate_reports_but_exits_zero(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path, "min_mpki = 500.0")
+        assert scenarios_main(["run", "--spec", path, "--no-gate"]) == 0
+        assert "FAIL min_mpki" in capsys.readouterr().out
+
+    def test_invalid_spec_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text("schema_version = 1\n")
+        assert scenarios_main(["run", "--spec", str(path)]) == 2
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert scenarios_main(["run", "no-such-scenario"]) == 2
+
+    def test_validate_flags_broken_files(self, tmp_path, capsys):
+        good = tmp_path / "good.toml"
+        good.write_text(MINIMAL)
+        bad = tmp_path / "bad.toml"
+        bad.write_text("schema_version = 1\n[scenario]\nname = 'x'\n")
+        assert scenarios_main(["validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"ok   {good}" in out and f"FAIL {bad}" in out
+
+    def test_validate_committed_catalog_is_clean(self, capsys):
+        assert scenarios_main(["validate"]) == 0
+
+    def test_list_and_show(self, capsys):
+        assert scenarios_main(["list", "--family", "thrash"]) == 0
+        out = capsys.readouterr().out
+        assert "thrash-00" in out and "spec06-00" not in out
+        assert scenarios_main(["show", "thrash-00"]) == 0
+        assert 'name = "thrash-00"' in capsys.readouterr().out
+
+
+class TestExperimentCliIntegration:
+    def test_scenario_flag_selects_catalog_workloads(self, tmp_path, capsys):
+        from repro.cli import main
+        cache = tmp_path / "cache"
+        code = main(["fig8", "--scenario", "thrash-00", "--accesses",
+                     "2000", "--cache-dir", str(cache), "--no-journal"])
+        assert code == 0
+        capsys.readouterr()
+        manifests = list((cache / "manifests").glob("fig8-*.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        assert manifest["traces"] == ["thrash-00"]
