@@ -60,7 +60,10 @@ class CompareResult:
                  f"{'change':>9}  verdict"]
         for d in self.deltas:
             if not d.comparable:
-                verdict = f"SKIP ({d.note})"
+                # A delta can be incomparable *and* gate-failing (e.g. a
+                # require_all miss) — render those as failures, not SKIPs.
+                verdict = (f"REGRESSED ({d.note})" if d.regressed
+                           else f"SKIP ({d.note})")
                 change = "-"
             else:
                 verdict = ("REGRESSED" if d.regressed
@@ -111,7 +114,7 @@ def _shape_of(row: dict) -> tuple:
     """
     meta = row.get("meta", {})
     return (row.get("units"), meta.get("scale"), meta.get("accesses"),
-            meta.get("seed"), meta.get("fastpath"))
+            meta.get("seed"), meta.get("fastpath"), meta.get("sampling"))
 
 
 def compare_docs(current: dict, baseline: dict, *,
@@ -137,6 +140,14 @@ def compare_docs(current: dict, baseline: dict, *,
             continue
         base_thr = float(base["throughput"])
         cur_thr = float(row["throughput"])
+        if base_thr <= 0.0:
+            # A zero-throughput baseline admits no percentage delta;
+            # refuse to gate on it instead of dividing by zero.
+            result.deltas.append(Delta(
+                name=name, baseline=base_thr, current=cur_thr,
+                change_pct=0.0, regressed=False, comparable=False,
+                note="zero-throughput baseline"))
+            continue
         change_pct = (cur_thr - base_thr) / base_thr * 100.0
         regressed = change_pct < -threshold_pct
         result.deltas.append(Delta(name=name, baseline=base_thr,

@@ -17,6 +17,8 @@ Examples::
     pmp-repro scenarios list        # the declarative workload catalog
     pmp-repro scenarios run thrash-00   # expected:-gated scenario run
     pmp-repro fig8 --scenario tenants-00 --scenario thrash-00
+    pmp-repro fig8 --sample         # sampled simulation (estimates)
+    pmp-repro sample validate       # sampled-vs-full fidelity gate
 
 Simulation-backed commands persist their results under ``--cache-dir``
 (default ``.repro-cache/``) keyed by a content hash of (trace, prefetcher
@@ -117,6 +119,20 @@ def _journal(args: argparse.Namespace) -> RunJournal | None:
     return args.journal_obj
 
 
+def _sampling(args: argparse.Namespace):
+    """The run's SamplingConfig, or None when --sample is off."""
+    if not getattr(args, "sample", False):
+        return None
+    from .sampling import SamplingConfig
+
+    overrides = {}
+    if args.sample_windows is not None:
+        overrides["windows"] = args.sample_windows
+    if args.sample_warmup is not None:
+        overrides["warmup_windows"] = args.sample_warmup
+    return SamplingConfig(**overrides)
+
+
 def _runner(args: argparse.Namespace) -> SuiteRunner:
     store = None
     if args.trace_cache:
@@ -130,7 +146,8 @@ def _runner(args: argparse.Namespace) -> SuiteRunner:
                          fastpath=not args.no_fastpath,
                          job_timeout=args.job_timeout,
                          fail_fast=args.fail_fast,
-                         journal=_journal(args))
+                         journal=_journal(args),
+                         sampling=_sampling(args))
     # main() writes one manifest per experiment from the runners it
     # created; the signal handler stops every engine ever registered.
     args.created_runners.append(runner)
@@ -292,6 +309,11 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "scenarios":
         from .scenarios.cli import scenarios_main
         return scenarios_main(argv[1:])
+    # `pmp-repro sample ...` inspects and validates sampled simulation
+    # (plan/validate); the fidelity gate in CI runs `sample validate`.
+    if argv and argv[0] == "sample":
+        from .sampling.cli import sample_main
+        return sample_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="pmp-repro",
         description="Reproduce the PMP paper's tables and figures.")
@@ -324,6 +346,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="attach the event-trace observer; prints the "
                              "per-component event counters and stores them "
                              "in the run manifest")
+    parser.add_argument("--sample", action="store_true",
+                        help="sampled simulation: cluster trace windows by "
+                             "access-vector signature, simulate one "
+                             "representative per cluster and extrapolate "
+                             "(estimates with error bars — see `pmp-repro "
+                             "sample validate` for the fidelity bounds)")
+    parser.add_argument("--sample-windows", type=int, default=None,
+                        metavar="N",
+                        help="target window count for --sample (default: "
+                             "the calibrated SamplingConfig default)")
+    parser.add_argument("--sample-warmup", type=int, default=None,
+                        metavar="N",
+                        help="cache-warmup windows replayed before each "
+                             "representative for --sample")
     parser.add_argument("--no-fastpath", action="store_true",
                         help="force every access through the event-driven "
                              "kernel instead of batching ordinary L1-hit "

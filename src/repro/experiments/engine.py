@@ -53,6 +53,7 @@ import numpy as np
 
 from ..memtrace.trace import Trace, TraceArrays
 from ..prefetchers.base import Prefetcher
+from ..sampling.config import SamplingConfig
 from ..sim.engine import simulate
 from ..sim.invariants import audit_requested
 from ..sim.observers import merge_counter_snapshots
@@ -86,6 +87,10 @@ class SimJob:
     # differential suite pins this), so fastpath-on and --no-fastpath
     # runs share cache entries.
     fastpath: bool = True
+    # Sampled execution (repro.sampling).  Unlike fastpath this IS part
+    # of key() when enabled: sampled results are estimates, so they must
+    # never alias exact results — or results sampled with other knobs.
+    sampling: SamplingConfig | None = None
 
     def key(self) -> str:
         """Content hash identifying this job's result.
@@ -93,6 +98,8 @@ class SimJob:
         ``trace_events`` salts the key only when on, so every result
         cached before the observer existed stays valid for untraced runs
         (traced results carry extra payload and must not alias them).
+        ``sampling`` salts the key with its full knob fingerprint, again
+        only when enabled, for the same backwards-compatibility reason.
         """
         parts = [
             CACHE_VERSION,
@@ -103,6 +110,8 @@ class SimJob:
         ]
         if self.trace_events:
             parts.append("trace-events")
+        if self.sampling is not None and self.sampling.enabled:
+            parts.append(self.sampling.fingerprint())
         return fingerprint(parts)
 
 
@@ -112,6 +121,7 @@ def _simulate_payload(name: str, family: str, seed: int, arrays: TraceArrays,
                       trace_events: bool = False,
                       check_invariants: bool = False,
                       fastpath: bool = True,
+                      sampling: SamplingConfig | None = None,
                       chaos_key: str | None = None) -> SimResult:
     """Worker entry point: rebuild the trace and run one simulation."""
     maybe_inject_chaos(chaos_key)
@@ -119,7 +129,7 @@ def _simulate_payload(name: str, family: str, seed: int, arrays: TraceArrays,
     return simulate(trace, prefetcher, config, warmup_fraction,
                     trace_events=trace_events,
                     check_invariants=check_invariants or None,
-                    fastpath=fastpath)
+                    fastpath=fastpath, sampling=sampling)
 
 
 @dataclass
@@ -311,7 +321,7 @@ class ExperimentEngine:
         return simulate(job.trace, job.prefetcher, job.config,
                         job.warmup_fraction, trace_events=job.trace_events,
                         check_invariants=job.check_invariants or None,
-                        fastpath=job.fastpath)
+                        fastpath=job.fastpath, sampling=job.sampling)
 
     # ------------------------------------------------------------- serial path
 
@@ -340,7 +350,7 @@ class ExperimentEngine:
                         np.asarray(writes), np.asarray(gaps)),
                        job.prefetcher, job.config, job.warmup_fraction,
                        job.trace_events, job.check_invariants, job.fastpath,
-                       key)
+                       job.sampling, key)
             items.append(_WorkItem(index, job, key, payload))
         return items
 

@@ -145,8 +145,14 @@ class RunJournal:
                       "result": result.to_dict()})
 
     def record_failure(self, key: str | None, failure: JobFailure) -> None:
-        """Journal one deterministic failure (keyless jobs are not stored)."""
-        if key is None or key in self._done:
+        """Journal one deterministic failure (idempotent per key, like
+        :meth:`record_done`; keyless jobs are not stored).
+
+        Retries of an already-failed key keep the first journaled record
+        instead of appending a duplicate line per attempt; a later
+        completion still supersedes the failure via :meth:`record_done`.
+        """
+        if key is None or key in self._done or key in self._failed:
             return
         self._failed[key] = failure
         self._append({"key": key, "status": "failed",

@@ -36,6 +36,7 @@ from ..memtrace.store import TraceStore
 from ..memtrace.trace import Trace
 from ..memtrace.workloads import WorkloadSpec, quick_suite
 from ..prefetchers.base import NoPrefetcher, Prefetcher
+from ..sampling.config import SamplingConfig
 from ..scenarios.catalog import scale_defaults
 from ..sim.params import SystemConfig
 from ..sim.stats import SimResult, geomean
@@ -90,6 +91,12 @@ class SuiteRunner:
     # Journal for crash-safe resume: a RunJournal instance, or a run
     # directory root (a fresh run id is generated).  None disables.
     journal: RunJournal | str | Path | None = None
+    # Sampled execution (repro.sampling): when set and enabled, every job
+    # simulates representative windows only and extrapolates, carrying
+    # the plan and error bars in SimResult.sampling.  Results are
+    # estimates, so the engine's cache keys are salted with the sampling
+    # fingerprint — sampled and exact runs never alias.
+    sampling: "SamplingConfig | None" = None
 
     def __post_init__(self) -> None:
         self._traces: list[Trace] | None = None
@@ -126,7 +133,8 @@ class SuiteRunner:
         return [SimJob(trace, factory(), config, self.warmup_fraction,
                        trace_events=self.trace_events,
                        check_invariants=self.check_invariants,
-                       fastpath=self.fastpath)
+                       fastpath=self.fastpath,
+                       sampling=self.sampling)
                 for trace in self.traces]
 
     def baselines(self, config: SystemConfig | None = None) -> list[SimResult]:
@@ -276,6 +284,8 @@ class SuiteRunner:
         """The manifest's free-form section (event counters when traced)."""
         extra = {"batches": counters.batches,
                  "warmup_fraction": self.warmup_fraction}
+        if self.sampling is not None and self.sampling.enabled:
+            extra["sampling"] = self.sampling.to_dict()
         if counters.audited:
             # Every audited simulation completed, i.e. raised no
             # InvariantViolation (a violation aborts the run).

@@ -1,0 +1,49 @@
+"""Sampled simulation with fidelity bounds.
+
+Full-length traces pay per-access simulation cost on every access; this
+package ports the idea from "Memory Access Vectors" (PAPERS.md): split a
+trace's measured region into fixed-size windows, describe each window by
+an *access-vector signature* (region footprint, stride histogram,
+reuse-distance buckets), cluster similar windows, simulate one
+representative window per cluster behind a configurable cache-warmup
+prefix, and extrapolate the full run's counters from the cluster
+weights — with per-metric error bars derived from how tightly each
+cluster hugs its representative.
+
+Entry points:
+
+* :class:`SamplingConfig` — the knob set (window count, warmup prefix,
+  cluster cap, distance threshold); carried by ``simulate()``,
+  :class:`~repro.experiments.engine.SimJob`,
+  :class:`~repro.experiments.runner.SuiteRunner` and the CLI
+  (``--sample``, ``--sample-windows``, ``--sample-warmup``).
+* :func:`simulate_sampled` — the sampled counterpart of
+  :func:`repro.sim.engine.simulate`; reached transparently via
+  ``simulate(..., sampling=cfg)``.
+* :func:`build_plan` — the deterministic window/cluster plan (exposed
+  for tests and ``pmp-repro sample plan``).
+* :func:`validate_sampling` — sampled-vs-full fidelity measurement on
+  named traces; ``pmp-repro sample validate`` gates its NIPC error and
+  executed-access fraction in CI.
+
+Sampling is **off by default** everywhere: with ``sampling=None`` every
+path is bit-identical to the pre-sampling engine (the differential and
+golden suites pin this).
+"""
+
+from .config import SamplingConfig
+from .engine import simulate_sampled
+from .plan import SamplingPlan, build_plan
+from .signature import window_signatures
+from .cluster import cluster_windows
+from .validate import validate_sampling
+
+__all__ = [
+    "SamplingConfig",
+    "SamplingPlan",
+    "build_plan",
+    "cluster_windows",
+    "simulate_sampled",
+    "validate_sampling",
+    "window_signatures",
+]

@@ -1,0 +1,271 @@
+"""Sampled execution: simulate representatives, extrapolate the rest.
+
+:func:`simulate_sampled` is the sampled counterpart of
+:func:`repro.sim.engine.simulate` (which dispatches here when handed a
+``sampling`` config).  The representative windows are *stitched* into
+one continuous simulation in trace order: a single hierarchy, core and
+prefetcher persist across segments, so the prefetcher keeps the
+training it accumulated on earlier representatives exactly as it would
+in a full run — the dominant fidelity term for a learning prefetcher.
+Each segment replays its configured warmup-prefix windows first (stats
+discarded, re-warming cache recency after the skip) and then measures
+its representative window via a stats reset/snapshot pair, the same
+boundary discipline the full engine uses at its warmup boundary.
+
+Measured counters are then scaled by ``cluster weight / representative
+length`` and summed into one estimated
+:class:`~repro.sim.stats.SimResult`, whose ``sampling`` attachment
+records the plan shape, the executed-access fraction, and per-metric
+error bars derived from the cluster dispersions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+
+from ..memtrace.trace import Trace
+from ..prefetchers.base import NoPrefetcher, Prefetcher
+from ..sim.params import SystemConfig
+from ..sim.stats import LevelStats, SimResult, snapshot_level
+from .config import SamplingConfig
+from .plan import RepresentativeWindow, SamplingPlan, build_plan
+
+_LEVEL_FIELDS = tuple(f.name for f in dataclass_fields(LevelStats))
+
+
+def simulate_sampled(trace: Trace, prefetcher: Prefetcher | None = None,
+                     config: SystemConfig | None = None,
+                     warmup_fraction: float = 0.2,
+                     sampling: SamplingConfig | None = None,
+                     trace_events: bool = False,
+                     check_invariants: bool | None = None,
+                     fastpath: bool = True) -> SimResult:
+    """Run one trace sampled; returns the extrapolated estimate.
+
+    Traces too short to window fall back to a full simulation whose
+    result carries ``sampling["fallback"]`` explaining why — callers
+    never need to special-case tiny inputs.
+    """
+    if prefetcher is None:
+        prefetcher = NoPrefetcher()
+    if config is None:
+        config = SystemConfig.default()
+    sampling = sampling or SamplingConfig()
+
+    plan = build_plan(trace, warmup_fraction, sampling)
+    if plan.fallback is not None:
+        from ..sim.engine import simulate  # runtime import: engine dispatches here
+
+        result = simulate(trace, prefetcher, config, warmup_fraction,
+                          trace_events=trace_events,
+                          check_invariants=check_invariants,
+                          fastpath=fastpath)
+        result.sampling = {"config": sampling.to_dict(),
+                           "fallback": plan.fallback}
+        return result
+
+    measurements = _simulate_stitched(trace, prefetcher, config, plan,
+                                      trace_events=trace_events,
+                                      check_invariants=check_invariants,
+                                      fastpath=fastpath)
+    return extrapolate(trace, prefetcher, plan, measurements, sampling)
+
+
+def _simulate_stitched(
+        trace: Trace, prefetcher: Prefetcher, config: SystemConfig,
+        plan: SamplingPlan, *, trace_events: bool,
+        check_invariants: bool | None, fastpath: bool,
+) -> list[tuple[RepresentativeWindow, SimResult]]:
+    """One continuous run over the plan's segments, in trace order.
+
+    Mirrors the full engine's access loop (fast path, warmup-boundary
+    stats reset, end-of-run drain/flush) but jumps from one segment's
+    end to the next segment's prefix start instead of walking the whole
+    trace.  Interior segment boundaries snapshot without draining —
+    in-flight accounting resolves during the next segment's discarded
+    prefix; only the final segment gets the full end-of-run drain and
+    prefetch-accounting flush, exactly like the full engine.
+    """
+    from ..sim.core import Core
+    from ..sim.fastpath import MIN_RUN, FastPath
+    from ..sim.hierarchy import Hierarchy
+    from ..sim.invariants import InvariantAuditor, audit_requested
+    from ..sim.observers import EventTrace
+
+    hierarchy = Hierarchy.build(config, prefetcher)
+    tracer = EventTrace(hierarchy.bus) if trace_events else None
+    auditor = (InvariantAuditor(hierarchy)
+               if audit_requested(check_invariants) else None)
+    core = Core(config.core)
+    accesses = trace.accesses
+    scanner = (FastPath(trace, hierarchy, core, prefetcher)
+               if fastpath and prefetcher.supports_hit_runs
+               and len(trace) >= MIN_RUN else None)
+
+    advance = core.advance
+    begin_load = core.begin_load
+    finish_load = core.finish_load
+    set_view_cycle = hierarchy.set_view_cycle
+    demand_access = hierarchy.demand_access
+    issue_prefetch = hierarchy.issue_prefetch
+    on_access = prefetcher.on_access
+    try_run = scanner.try_run if scanner is not None else None
+
+    ordered = sorted(plan.representatives, key=lambda rep: rep.start)
+    measurements = []
+    for position, rep in enumerate(ordered):
+        start_instr = core.instructions
+        start_cycle = core.cycle
+        index = rep.prefix_start
+        while index < rep.end:
+            if index == rep.start:
+                hierarchy.reset_stats()
+                if tracer is not None:
+                    tracer.reset()
+                if auditor is not None:
+                    auditor.on_reset()
+                start_instr = core.instructions
+                start_cycle = core.cycle
+
+            if try_run is not None:
+                # A block must never span the measurement boundary: the
+                # stats it reconciles in one step have to land entirely
+                # on one side of the reset above.
+                retired = try_run(index,
+                                  rep.start if index < rep.start else rep.end)
+                if retired:
+                    index += retired
+                    continue
+
+            access = accesses[index]
+            index += 1
+            if access.gap:
+                advance(access.gap)
+            issue_cycle = begin_load()
+            set_view_cycle(issue_cycle)
+            latency, l1_hit = demand_access(access.address, issue_cycle,
+                                            access.is_write)
+            finish_load(latency)
+
+            requests = on_access(access.pc, access.address,
+                                 issue_cycle, l1_hit, hierarchy)
+            for request in requests:
+                issue_prefetch(request, issue_cycle)
+            if auditor is not None:
+                auditor.checkpoint(issue_cycle)
+
+        if position == len(ordered) - 1:
+            core.drain()
+            hierarchy.flush_accounting(core.cycle)
+            if auditor is not None:
+                auditor.finalize(core.cycle)
+
+        measurements.append((rep, SimResult(
+            trace_name=f"{trace.name}[{rep.start}:{rep.end})",
+            prefetcher_name=prefetcher.name,
+            instructions=core.instructions - start_instr,
+            cycles=core.cycle - start_cycle,
+            levels={
+                "l1d": snapshot_level(hierarchy.l1d.stats),
+                "l2c": snapshot_level(hierarchy.l2c.stats),
+                "llc": snapshot_level(hierarchy.llc.stats),
+            },
+            dram_demand_requests=hierarchy.dram.stats.demand_requests,
+            dram_prefetch_requests=hierarchy.dram.stats.prefetch_requests,
+            dram_writeback_requests=hierarchy.dram.stats.writeback_requests,
+            issued_prefetches=dict(hierarchy.issued_prefetches),
+            dropped_prefetches=hierarchy.dropped_prefetches,
+            event_counters=(tracer.counter_snapshot()
+                            if tracer is not None else None),
+        )))
+    return measurements
+
+
+def _merge_scaled_counters(totals: dict, counters: dict,
+                           factor: float) -> None:
+    """Accumulate one segment's event counters, scaled, into ``totals``."""
+    for kind, per_component in counters.items():
+        bucket = totals.setdefault(kind, {})
+        for component, count in per_component.items():
+            bucket[component] = bucket.get(component, 0.0) + count * factor
+
+
+def extrapolate(trace: Trace, prefetcher: Prefetcher, plan: SamplingPlan,
+                measurements: list[tuple[RepresentativeWindow, SimResult]],
+                sampling: SamplingConfig) -> SimResult:
+    """Scale each representative's measured counters by its cluster
+    weight and sum into one full-run estimate."""
+    if len(measurements) != len(plan.representatives):
+        raise ValueError("one measurement per representative required")
+
+    instructions = 0.0
+    cycles = 0.0
+    levels = {name: dict.fromkeys(_LEVEL_FIELDS, 0.0)
+              for name in ("l1d", "l2c", "llc")}
+    dram = dict.fromkeys(
+        ("demand_requests", "prefetch_requests", "writeback_requests"), 0.0)
+    issued: dict = {}
+    dropped = 0.0
+    event_totals: dict = {}
+
+    for rep, result in measurements:
+        factor = rep.weight / rep.accesses
+        instructions += result.instructions * factor
+        cycles += result.cycles * factor
+        for name, stats in result.levels.items():
+            bucket = levels[name]
+            for field in _LEVEL_FIELDS:
+                bucket[field] += getattr(stats, field) * factor
+        dram["demand_requests"] += result.dram_demand_requests * factor
+        dram["prefetch_requests"] += result.dram_prefetch_requests * factor
+        dram["writeback_requests"] += result.dram_writeback_requests * factor
+        for level, count in result.issued_prefetches.items():
+            issued[level] = issued.get(level, 0.0) + count * factor
+        dropped += result.dropped_prefetches * factor
+        if result.event_counters:
+            _merge_scaled_counters(event_totals, result.event_counters,
+                                   factor)
+
+    dispersion = plan.weighted_dispersion
+    estimate = SimResult(
+        trace_name=trace.name,
+        prefetcher_name=prefetcher.name,
+        instructions=int(round(instructions)),
+        cycles=cycles,
+        levels={name: LevelStats(**{field: int(round(value))
+                                    for field, value in bucket.items()})
+                for name, bucket in levels.items()},
+        dram_demand_requests=int(round(dram["demand_requests"])),
+        dram_prefetch_requests=int(round(dram["prefetch_requests"])),
+        dram_writeback_requests=int(round(dram["writeback_requests"])),
+        issued_prefetches={level: int(round(count))
+                           for level, count in issued.items()},
+        dropped_prefetches=int(round(dropped)),
+        event_counters={kind: {component: int(round(count))
+                               for component, count in per.items()}
+                        for kind, per in event_totals.items()}
+        if event_totals else None,
+    )
+    estimate.sampling = {
+        "config": sampling.to_dict(),
+        "windows": len(plan.bounds),
+        "window_accesses": plan.window_accesses,
+        "clusters": plan.clustering.clusters,
+        "total_accesses": plan.total,
+        "measured_accesses": plan.measured,
+        "simulated_accesses": plan.simulated_accesses,
+        "fraction_simulated": round(plan.fraction_simulated, 6),
+        "weighted_dispersion": round(dispersion, 6),
+        # Heuristic ± bars: the weighted signature dispersion is the
+        # relative uncertainty proxy (a cluster whose members sit on its
+        # representative contributes none); `sample validate` calibrates
+        # the proxy against measured NIPC error on the golden traces.
+        "error_bars": {
+            "relative": round(dispersion, 6),
+            "ipc": round(estimate.ipc * dispersion, 6),
+            "dram_requests": round(estimate.dram_requests * dispersion, 3),
+            "l1d_demand_misses": round(
+                estimate.levels["l1d"].demand_misses * dispersion, 3),
+        },
+    }
+    return estimate

@@ -1,0 +1,107 @@
+"""Per-window access-vector signatures.
+
+A window's signature is a small fixed-length vector of normalised
+features describing *how* the window touches memory, computed from the
+trace's packed arrays in vectorised NumPy:
+
+* **stride histogram** (9 buckets) — successive cacheline deltas
+  bucketed by sign and magnitude (0, ±1, ±2–7, ±8–63, ±64+), the
+  feature the paper's pattern merging is built on;
+* **reuse-distance buckets** (5) — accesses since the previous touch of
+  the same cacheline (1–7, 8–63, 64–511, 512+), plus first touches;
+* **footprints** — unique 4KB regions and unique cachelines over the
+  window length;
+* **write fraction** and a squashed **mean instruction gap** (the gap
+  stream drives the timing model, so two windows with equal address
+  behaviour but different gaps must not merge).
+
+Every component is a fraction of the window length, so signatures of
+different-length windows (the last window absorbs the remainder) are
+directly comparable and L1 distances live on a stable scale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..memtrace.access import CACHELINE_BITS, DEFAULT_REGION_BYTES
+from ..memtrace.trace import Trace
+
+#: Bucket edges for successive cacheline deltas: 9 buckets
+#: (<=-64, -63..-8, -7..-2, -1, 0, +1, +2..7, +8..63, >=64).
+_STRIDE_EDGES = np.array([-63.5, -7.5, -1.5, -0.5, 0.5, 1.5, 7.5, 63.5])
+
+#: Bucket edges for reuse distances (in accesses): 4 buckets
+#: (1..7, 8..63, 64..511, >=512); first touches get their own bucket.
+_REUSE_EDGES = np.array([7.5, 63.5, 511.5])
+
+#: Total signature dimensionality.
+SIGNATURE_DIM = len(_STRIDE_EDGES) + 1 + len(_REUSE_EDGES) + 1 + 1 + 4
+
+
+def _reuse_buckets(lines: np.ndarray) -> tuple[np.ndarray, int]:
+    """Histogram of within-window reuse distances plus first-touch count.
+
+    Stable-sorting the line ids groups equal lines while keeping their
+    positions in window order, so consecutive entries of one group are
+    exactly the successive touches of one cacheline.
+    """
+    n = len(lines)
+    if n < 2:
+        return np.zeros(len(_REUSE_EDGES) + 1), n
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    same = sorted_lines[1:] == sorted_lines[:-1]
+    distances = (order[1:] - order[:-1])[same]
+    counts = np.bincount(np.digitize(distances, _REUSE_EDGES),
+                         minlength=len(_REUSE_EDGES) + 1)
+    first_touches = n - int(same.sum())
+    return counts.astype(np.float64), first_touches
+
+
+def window_signatures(trace: Trace,
+                      bounds: Sequence[tuple[int, int]]) -> np.ndarray:
+    """Signatures for the given ``[start, end)`` windows of one trace.
+
+    Returns a ``(len(bounds), SIGNATURE_DIM)`` float array; rows are
+    deterministic in (trace contents, bounds) only.
+    """
+    _, addrs, writes, gaps = trace.arrays()
+    # Addresses fit comfortably in int64 after dropping the line offset
+    # (the multi-core rebase slots top out near 2^47), and signed ints
+    # make the delta arithmetic natural.
+    lines = (addrs >> np.uint64(CACHELINE_BITS)).astype(np.int64)
+    region_shift = int(DEFAULT_REGION_BYTES).bit_length() - 1
+    regions = (addrs >> np.uint64(region_shift)).astype(np.int64)
+
+    out = np.zeros((len(bounds), SIGNATURE_DIM))
+    for row, (start, end) in enumerate(bounds):
+        n = end - start
+        if n <= 0:
+            raise ValueError(f"empty window [{start}:{end})")
+        window_lines = lines[start:end]
+
+        deltas = np.diff(window_lines)
+        stride = np.bincount(np.digitize(deltas, _STRIDE_EDGES),
+                             minlength=len(_STRIDE_EDGES) + 1
+                             ).astype(np.float64)
+        stride /= max(1, n - 1)
+
+        reuse, first_touches = _reuse_buckets(window_lines)
+        reuse /= n
+
+        region_footprint = len(np.unique(regions[start:end])) / n
+        line_footprint = len(np.unique(window_lines)) / n
+        write_fraction = float(writes[start:end].mean())
+        mean_gap = float(gaps[start:end].mean())
+
+        out[row, :len(stride)] = stride
+        cursor = len(stride)
+        out[row, cursor:cursor + len(reuse)] = reuse
+        cursor += len(reuse)
+        out[row, cursor:] = (first_touches / n, region_footprint,
+                             line_footprint, write_fraction,
+                             mean_gap / (1.0 + mean_gap))
+    return out

@@ -1,0 +1,149 @@
+"""Sampled-vs-full fidelity measurement.
+
+:func:`validate_sampling` runs the full and the sampled simulation side
+by side — baseline (no prefetcher) and prefetcher-under-test each — on
+named workloads and reports, per trace, the relative error of the
+sampled estimate on the paper's headline metrics (NIPC first) plus the
+fraction of accesses the sampled runs actually executed.  ``pmp-repro
+sample validate`` gates the worst-case NIPC error and the executed
+fraction on the golden traces in CI; the must-fail leg of that job
+proves the gate trips when sampling is configured too coarse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.params import SystemConfig
+from .config import SamplingConfig
+
+#: The golden-trace pair pinned by ``tests/golden`` — the fidelity gate
+#: runs on exactly the workloads whose full-simulation numbers CI
+#: already trusts.
+GOLDEN_TRACES = ("spec06-00", "ligra-00")
+
+#: Default trace length for fidelity runs.  Deliberately much longer
+#: than the experiment scale: sampling pays a fixed per-segment boundary
+#: cost (cold recency after each skip), so its error bound is only
+#: meaningful at lengths where windows dwarf that boundary.  The default
+#: :class:`SamplingConfig` is calibrated at exactly this scale.
+VALIDATE_ACCESSES = 120_000
+
+
+def _relative_error(estimate: float, exact: float) -> float:
+    """|estimate - exact| / exact, in percent; 0 when exact is 0."""
+    if exact == 0:
+        return 0.0
+    return abs(estimate - exact) / abs(exact) * 100.0
+
+
+@dataclass
+class TraceFidelity:
+    """Sampled-vs-full comparison for one trace."""
+
+    trace: str
+    prefetcher: str
+    full_nipc: float
+    sampled_nipc: float
+    #: Percent errors of the sampled estimate per metric.
+    errors: dict[str, float] = field(default_factory=dict)
+    #: Executed accesses / full trace length, worst of the two sampled
+    #: runs (baseline and prefetcher share the plan, so they agree
+    #: unless one fell back).
+    fraction_simulated: float = 0.0
+    #: The estimate's own predicted relative error (dispersion proxy).
+    predicted_relative: float = 0.0
+    fallback: str | None = None
+
+    @property
+    def nipc_error(self) -> float:
+        return self.errors.get("nipc", 0.0)
+
+    def to_dict(self) -> dict:
+        data = {
+            "trace": self.trace,
+            "prefetcher": self.prefetcher,
+            "full_nipc": round(self.full_nipc, 6),
+            "sampled_nipc": round(self.sampled_nipc, 6),
+            "errors_pct": {k: round(v, 4) for k, v in self.errors.items()},
+            "fraction_simulated": round(self.fraction_simulated, 6),
+            "predicted_relative": round(self.predicted_relative, 6),
+        }
+        if self.fallback:
+            data["fallback"] = self.fallback
+        return data
+
+
+def _fidelity_metrics(full_base, full_pf, est_base, est_pf) -> dict[str, float]:
+    """Percent errors on the headline derived metrics."""
+    return {
+        "nipc": _relative_error(est_pf.nipc(est_base), full_pf.nipc(full_base)),
+        "ipc": _relative_error(est_pf.ipc, full_pf.ipc),
+        "baseline_ipc": _relative_error(est_base.ipc, full_base.ipc),
+        "nmt": _relative_error(est_pf.nmt(est_base), full_pf.nmt(full_base)),
+        "dram_requests": _relative_error(est_pf.dram_requests,
+                                         full_pf.dram_requests),
+        "l1d_demand_misses": _relative_error(
+            est_pf.levels["l1d"].demand_misses,
+            full_pf.levels["l1d"].demand_misses),
+    }
+
+
+def validate_sampling(traces=GOLDEN_TRACES, *, accesses: int | None = None,
+                      prefetcher: str = "pmp",
+                      sampling: SamplingConfig | None = None,
+                      config: SystemConfig | None = None,
+                      warmup_fraction: float = 0.2,
+                      fastpath: bool = True) -> list[TraceFidelity]:
+    """Measure sampled-vs-full fidelity on the named workloads.
+
+    ``traces`` names workloads from the full suite; ``accesses`` defaults
+    to :data:`VALIDATE_ACCESSES`.  Four simulations per trace:
+    full/sampled × baseline/prefetcher.  Deterministic throughout, so
+    the CI gate on the returned errors cannot flake.
+    """
+    from ..memtrace.workloads import full_suite
+    from ..prefetchers import COMPETITORS
+    from ..prefetchers.base import NoPrefetcher
+    from ..sim.engine import simulate
+
+    if prefetcher not in COMPETITORS:
+        raise KeyError(f"unknown prefetcher {prefetcher!r}; "
+                       f"known: {sorted(COMPETITORS)}")
+    factory = COMPETITORS[prefetcher]
+    sampling = sampling or SamplingConfig()
+    config = config or SystemConfig.default()
+    if accesses is None:
+        accesses = VALIDATE_ACCESSES
+
+    by_name = {spec.name: spec for spec in full_suite()}
+    missing = [name for name in traces if name not in by_name]
+    if missing:
+        raise KeyError(f"unknown trace(s) {missing}; see full_suite()")
+
+    records = []
+    for name in traces:
+        trace = by_name[name].build(accesses)
+        kwargs = dict(config=config, warmup_fraction=warmup_fraction,
+                      fastpath=fastpath)
+        full_base = simulate(trace, NoPrefetcher(), **kwargs)
+        full_pf = simulate(trace, factory(), **kwargs)
+        est_base = simulate(trace, NoPrefetcher(), sampling=sampling, **kwargs)
+        est_pf = simulate(trace, factory(), sampling=sampling, **kwargs)
+
+        info_base = est_base.sampling or {}
+        info_pf = est_pf.sampling or {}
+        fallback = info_base.get("fallback") or info_pf.get("fallback")
+        records.append(TraceFidelity(
+            trace=name, prefetcher=prefetcher,
+            full_nipc=full_pf.nipc(full_base),
+            sampled_nipc=est_pf.nipc(est_base),
+            errors=_fidelity_metrics(full_base, full_pf, est_base, est_pf),
+            fraction_simulated=max(
+                info_base.get("fraction_simulated", 1.0),
+                info_pf.get("fraction_simulated", 1.0)),
+            predicted_relative=max(
+                info_base.get("error_bars", {}).get("relative", 0.0),
+                info_pf.get("error_bars", {}).get("relative", 0.0)),
+            fallback=fallback))
+    return records

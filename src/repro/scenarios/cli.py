@@ -10,6 +10,7 @@ Examples::
     pmp-repro scenarios run tenants-00             # expected:-gated run
     pmp-repro scenarios run --spec my_scenario.toml --accesses 8000
     pmp-repro scenarios run thrash-00 --prefetcher pmp --prefetcher spp+ppf
+    pmp-repro scenarios run spec06-00 --sample     # sampled simulation
 
 Exit codes: 0 = success (and every ``expected:`` assertion held);
 1 = at least one expected assertion failed (suppress with ``--no-gate``);
@@ -73,6 +74,10 @@ def _parser() -> argparse.ArgumentParser:
                             "expected: block references, then pmp)")
     p_run.add_argument("--warmup", type=float, default=None,
                        help="warmup fraction override")
+    p_run.add_argument("--sample", action="store_true",
+                       help="run sampled simulation (window-signature "
+                            "sampling) even for scenarios without a "
+                            "sim.sampling block")
     p_run.add_argument("--no-fastpath", action="store_true",
                        help="force every access through the event kernel")
     p_run.add_argument("--no-gate", action="store_true",
@@ -147,6 +152,27 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_sampling(args: argparse.Namespace, spec: ScenarioSpec):
+    """The sampled-simulation config for one scenario run, or None.
+
+    A ``sim.sampling`` table opts the scenario in declaratively
+    (``enabled = false`` keeps it parked but pre-tuned); ``--sample``
+    opts in from the command line, reusing the scenario's tuned knobs
+    when it has any.
+    """
+    from ..sampling.config import SamplingConfig
+
+    table = spec.sim.get("sampling")
+    sampling = SamplingConfig.from_mapping(table) if table else None
+    if args.sample:
+        if sampling is None:
+            sampling = SamplingConfig(enabled=True)
+        elif not sampling.enabled:
+            from dataclasses import replace
+            sampling = replace(sampling, enabled=True)
+    return sampling if sampling is not None and sampling.enabled else None
+
+
 def _run_prefetchers(args: argparse.Namespace,
                      spec: ScenarioSpec) -> list[str]:
     if args.prefetcher:
@@ -195,20 +221,30 @@ def cmd_run(args: argparse.Namespace) -> int:
         config = apply_sim_config(SystemConfig.default(),
                                   spec.sim.get("config", {}))
         fastpath = not args.no_fastpath
+        sampling = _run_sampling(args, spec)
 
+        mode = " [sampled]" if sampling is not None else ""
         print(f"== scenario {spec.name} ({spec.kind}, family {spec.family}, "
-              f"{accesses} accesses) ==")
+              f"{accesses} accesses{mode}) ==")
         for workload in expand_scenario(spec, base_dir):
             trace = workload.build(accesses)
             baseline = simulate(trace, NoPrefetcher(), config,
-                                warmup_fraction=warmup, fastpath=fastpath)
+                                warmup_fraction=warmup, fastpath=fastpath,
+                                sampling=sampling)
             results = {}
             for name, factory in factories.items():
                 results[name] = simulate(trace, factory(), config,
                                          warmup_fraction=warmup,
-                                         fastpath=fastpath)
+                                         fastpath=fastpath,
+                                         sampling=sampling)
             print(f"{workload.name}: baseline ipc {baseline.ipc:.4f}, "
                   f"mpki {trace.estimated_mpki():.1f}")
+            if sampling is not None and baseline.sampling is not None \
+                    and "fraction_simulated" in baseline.sampling:
+                print(f"  [sampled: {baseline.sampling['clusters']} "
+                      f"cluster(s), "
+                      f"{baseline.sampling['fraction_simulated']:.1%} of "
+                      "accesses executed]")
             for name, result in results.items():
                 print(f"  {name:<10} nipc {result.nipc(baseline):.4f}  "
                       f"nmt {result.nmt(baseline):.4f}  "

@@ -40,6 +40,10 @@ A document is::
     [scenario.sim.config]
     dram_mt_per_sec = 6400
     llc_size_bytes = 4194304
+    [scenario.sim.sampling]  # opt-in sampled simulation for this scenario
+    enabled = true
+    windows = 40
+    warmup_windows = 2
 
     [scenario.expected]     # optional post-run assertions
     min_nipc = { pmp = 1.02 }       # or a bare number for every prefetcher
@@ -50,6 +54,7 @@ A document is::
     nipc_order = ["pmp", "dspatch"]  # non-increasing NIPC in this order
     min_mpki = 5.0                   # trace properties (no baseline needed)
     max_mpki = 200.0
+    tolerance = 0.05                 # relative slack for sampled-run gating
 """
 
 from __future__ import annotations
@@ -78,7 +83,20 @@ _BOUND_KEYS = ("min_nipc", "max_nipc", "max_nmt", "min_coverage",
                "min_accuracy")
 
 _EXPECTED_KEYS = set(_BOUND_KEYS) | {
-    "coverage_level", "nipc_order", "min_mpki", "max_mpki", "min_ipc"}
+    "coverage_level", "nipc_order", "min_mpki", "max_mpki", "min_ipc",
+    "tolerance"}
+
+# sim.sampling override keys -> value type (mirrors
+# repro.sampling.config.SamplingConfig.from_mapping).
+_SAMPLING_KEYS: dict[str, type | tuple[type, ...]] = {
+    "enabled": bool,
+    "windows": int,
+    "warmup_windows": int,
+    "max_clusters": int,
+    "threshold": (int, float),
+    "min_window": int,
+    "seed": int,
+}
 
 
 def _is_number(value: Any) -> bool:
@@ -184,7 +202,24 @@ def _validate_sim(problems: list[str], where: str, sim: Any) -> None:
                 problems.append(f"{where}.config.{key}: expected "
                                 f"{SIM_CONFIG_KEYS[key].__name__}, "
                                 f"got {value!r}")
-    unknown = set(sim) - {"warmup_fraction", "prefetchers", "config"}
+    sampling = sim.get("sampling", {})
+    if not isinstance(sampling, Mapping):
+        problems.append(f"{where}.sampling: expected a table")
+    else:
+        for key, value in sampling.items():
+            if key not in _SAMPLING_KEYS:
+                problems.append(f"{where}.sampling: unknown field {key!r}; "
+                                f"known: {sorted(_SAMPLING_KEYS)}")
+            elif key == "enabled":
+                if not isinstance(value, bool):
+                    problems.append(f"{where}.sampling.enabled: expected a "
+                                    f"boolean, got {value!r}")
+            elif not isinstance(value, _SAMPLING_KEYS[key]) or \
+                    isinstance(value, bool):
+                problems.append(f"{where}.sampling.{key}: expected a number, "
+                                f"got {value!r}")
+    unknown = set(sim) - {"warmup_fraction", "prefetchers", "config",
+                          "sampling"}
     if unknown:
         problems.append(f"{where}: unknown field(s) {sorted(unknown)}")
 
@@ -226,6 +261,11 @@ def _validate_expected(problems: list[str], where: str, expected: Any) -> None:
         if key in expected and not _is_number(expected[key]):
             problems.append(f"{where}.{key}: expected a number, "
                             f"got {expected[key]!r}")
+    if "tolerance" in expected:
+        value = expected["tolerance"]
+        if not _is_number(value) or not 0.0 <= value < 1.0:
+            problems.append(f"{where}.tolerance: expected a number in "
+                            f"[0, 1), got {value!r}")
 
 
 _SCENARIO_FIELDS = {"name", "family", "kind", "seed", "description", "tags",

@@ -31,6 +31,7 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
              trace_events: bool = False,
              check_invariants: bool | None = None,
              fastpath: bool = True,
+             sampling=None,
              state_out: dict | None = None) -> SimResult:
     """Run one trace through one prefetcher; returns the measured stats.
 
@@ -57,10 +58,28 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     ``fastpath=False`` (``--no-fastpath`` on the CLI) is the escape
     hatch that forces every access through the event kernel.
 
+    ``sampling``, when given an enabled
+    :class:`~repro.sampling.config.SamplingConfig`, dispatches to
+    :func:`repro.sampling.engine.simulate_sampled`: representative
+    windows are simulated and the full-run counters extrapolated, with
+    the plan and error bars attached as ``SimResult.sampling``.  Off
+    (``None`` or ``enabled=False``) by default — then this function's
+    behaviour is bit-identical to the pre-sampling engine.
+
     ``state_out``, when given a dict, receives post-run internals for
     tests: the ``hierarchy`` and ``core`` objects plus
     ``fastpath_blocks`` / ``fastpath_accesses`` coverage counters.
     """
+    if sampling is not None and sampling.enabled:
+        if state_out is not None:
+            raise ValueError("state_out is not supported for sampled runs "
+                             "(there is no single post-run hierarchy)")
+        from ..sampling.engine import simulate_sampled  # avoid import cycle
+
+        return simulate_sampled(trace, prefetcher, config, warmup_fraction,
+                                sampling=sampling, trace_events=trace_events,
+                                check_invariants=check_invariants,
+                                fastpath=fastpath)
     if prefetcher is None:
         prefetcher = NoPrefetcher()
     if config is None:

@@ -164,6 +164,35 @@ class TestCompare:
         assert not result.ok
         assert result.missing_in_baseline == []
 
+    def test_zero_throughput_baseline_is_incomparable_not_a_crash(self):
+        # Regression: a 0.0-throughput baseline row used to crash the
+        # gate with ZeroDivisionError; it now SKIPs with a note.  The
+        # harness refuses to *emit* such a row, but a hand-edited or
+        # bit-rotted baseline file can still carry one.
+        base = doc_with(record(throughput=1.0))
+        base["benchmarks"][0]["throughput"] = 0.0
+        cur = doc_with(record(throughput=1000.0))
+        result = compare_docs(cur, base, threshold_pct=10.0)
+        assert result.ok
+        [delta] = result.deltas
+        assert not delta.comparable
+        assert not delta.regressed
+        assert "zero-throughput" in delta.note
+        assert "SKIP (zero-throughput baseline)" in result.report(10.0)
+
+    def test_require_all_miss_renders_as_failure_not_skip(self):
+        # Regression: require_all synthesizes deltas that are regressed
+        # *and* incomparable; report() used to render them as SKIP, so
+        # the human table contradicted the failing exit code.
+        base = doc_with(record(name="old", throughput=1000.0))
+        cur = doc_with(record(name="new", throughput=1.0))
+        result = compare_docs(cur, base, threshold_pct=10.0,
+                              require_all=True)
+        assert not result.ok
+        report = result.report(10.0)
+        assert "REGRESSED (missing in baseline)" in report
+        assert "SKIP" not in report
+
     def test_negative_threshold_is_rejected(self):
         doc = doc_with(record())
         with pytest.raises(ValueError):
@@ -259,7 +288,8 @@ class TestMacroDeterminism:
     def test_macro_meta_pins_the_simulation_outcome(self):
         first = run_macro(accesses=2_000, repeats=1, profile_n=0)
         second = run_macro(accesses=2_000, repeats=1, profile_n=0)
-        assert [r.name for r in first] == ["simulate_pmp", "simulate_hot_loop"]
+        assert [r.name for r in first] == [
+            "simulate_pmp", "simulate_hot_loop", "simulate_pmp_sampled"]
         for a, b in zip(first, second):
             for key in ("trace_content_hash", "result_instructions",
                         "result_cycles", "result_ipc"):
@@ -271,9 +301,24 @@ class TestMacroDeterminism:
     def test_macro_meta_records_the_fastpath_mode(self):
         # Same workload, opposite modes: identical simulation outcome,
         # different shape key — the comparator must refuse to pair them.
-        [on, _] = run_macro(accesses=2_000, repeats=1, profile_n=0)
-        [off, _] = run_macro(accesses=2_000, repeats=1, profile_n=0,
-                             fastpath=False)
+        [on, _, _] = run_macro(accesses=2_000, repeats=1, profile_n=0)
+        [off, _, _] = run_macro(accesses=2_000, repeats=1, profile_n=0,
+                                fastpath=False)
         assert on.meta["fastpath"] is True
         assert off.meta["fastpath"] is False
         assert on.meta["result_ipc"] == off.meta["result_ipc"]
+
+    def test_sampled_macro_record_carries_its_sampling_shape(self):
+        [full, _, sampled] = run_macro(accesses=2_000, repeats=1,
+                                       profile_n=0)
+        assert "sampling" not in full.meta
+        assert sampled.meta["sampling"].startswith("sampling/v1:")
+        assert 0.0 < sampled.meta["fraction_simulated"] < 1.0
+        # Same trace, different simulation: the comparator must never
+        # pair the sampled record with the full one.
+        base = doc_with(full)
+        base["benchmarks"][0]["name"] = "simulate_pmp_sampled"
+        cur = doc_with(sampled)
+        result = compare_docs(cur, base, threshold_pct=10.0)
+        [delta] = result.deltas
+        assert not delta.comparable and "shape" in delta.note

@@ -68,6 +68,28 @@ class TestRunJournal:
         assert reopened.failed == 0
         reopened.close()
 
+    def test_record_failure_is_idempotent_per_key(self, tmp_path, result):
+        # Regression: every retry of a failing job used to append another
+        # journal line for the same key, bloating the ledger one line per
+        # attempt.  Failure records are now keyed like completions.
+        journal = RunJournal(tmp_path, "run-f")
+        for _ in range(4):
+            journal.record_failure("k", failure("k"))
+        journal.record_failure(None, failure(None))  # keyless: not stored
+        journal.close()
+        lines = [ln for ln in
+                 journal.journal_path.read_text().splitlines() if ln]
+        assert len(lines) == 1
+
+        reopened = RunJournal(tmp_path, "run-f")
+        assert reopened.failed == 1
+        assert reopened.completed == 0
+        # A later completion still supersedes the journaled failure.
+        reopened.record_done("k", result)
+        assert reopened.failed == 0
+        assert reopened.completed == 1
+        reopened.close()
+
     def test_truncated_tail_is_skipped_not_fatal(self, tmp_path, result):
         journal = RunJournal(tmp_path, "run-c")
         journal.record_done("k1", result)

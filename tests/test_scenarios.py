@@ -128,6 +128,27 @@ class TestSchemaRejections:
         assert any("unknown assertion(s) ['min_speedup']" in p
                    for p in validate_scenario_doc(doc))
 
+    def test_sampling_table_validates_known_keys_and_types(self):
+        doc = _doc(sim={"sampling": {"windows": 40, "enabled": True}})
+        assert validate_scenario_doc(doc) == []
+        doc = _doc(sim={"sampling": {"window_count": 40}})
+        assert any("unknown field 'window_count'" in p
+                   for p in validate_scenario_doc(doc))
+        doc = _doc(sim={"sampling": {"windows": "many"}})
+        assert any("sampling.windows" in p
+                   for p in validate_scenario_doc(doc))
+        doc = _doc(sim={"sampling": {"enabled": 1}})
+        assert any("sampling.enabled" in p
+                   for p in validate_scenario_doc(doc))
+
+    def test_expected_tolerance_must_be_a_small_fraction(self):
+        doc = _doc(expected={"tolerance": 0.05, "min_ipc": 0.5})
+        assert validate_scenario_doc(doc) == []
+        doc = _doc(expected={"tolerance": 1.5})
+        assert any("tolerance" in p for p in validate_scenario_doc(doc))
+        doc = _doc(expected={"tolerance": -0.1})
+        assert any("tolerance" in p for p in validate_scenario_doc(doc))
+
     def test_wrong_schema_version_rejected(self):
         import tomllib
         doc = tomllib.loads(MINIMAL)
@@ -272,6 +293,85 @@ path = "."
         assert [w.name for w in workloads] == ["bulk/a", "bulk/b"]
         with pytest.raises(ValueError, match="expands to 2"):
             compile_scenario(spec, base_dir=tmp_path)
+
+
+class TestExpected:
+    """Unit tests for evaluate_expected (no simulation)."""
+
+    class _StubTrace:
+        name = "t"
+
+        def estimated_mpki(self):
+            return 10.0
+
+    def _result(self, ipc=1.0, useful=8, useless=2, misses=50, dram=100,
+                name="pmp"):
+        from repro.sim.stats import LevelStats, SimResult
+        return SimResult(
+            trace_name="t", prefetcher_name=name, instructions=1000,
+            cycles=1000.0 / ipc,
+            levels={"l1d": LevelStats(demand_accesses=1000,
+                                      demand_misses=misses,
+                                      useful_prefetches=useful,
+                                      useless_prefetches=useless)},
+            dram_demand_requests=dram)
+
+    def _evaluate(self, expected, results=None, baseline=None):
+        from repro.scenarios.expect import evaluate_expected
+        return evaluate_expected(expected, trace=self._StubTrace(),
+                                 results=results or {"pmp": self._result()},
+                                 baseline=baseline)
+
+    def test_missing_baseline_still_evaluates_baseline_free_checks(self):
+        # Regression: a missing baseline used to early-return, silently
+        # skipping min_accuracy/min_ipc — which need no baseline.  Now
+        # only the baseline-relative keys fail and the rest still run.
+        report = self._evaluate({"min_nipc": 1.0, "max_nmt": 1.5,
+                                 "min_accuracy": 0.5, "min_ipc": 0.5})
+        assert not report.ok
+        [failure] = report.failed
+        assert "min_nipc/max_nmt" in failure and "baseline" in failure
+        assert any("min_accuracy" in p for p in report.passed)
+        assert any("min_ipc" in p for p in report.passed)
+
+    def test_min_accuracy_alone_needs_no_baseline(self):
+        report = self._evaluate({"min_accuracy": 0.5})
+        assert report.ok
+        report = self._evaluate({"min_accuracy": 0.9})
+        assert not report.ok
+
+    def test_tolerance_slackens_min_and_max_bounds(self):
+        baseline = self._result(ipc=1.0, name="baseline")
+        results = {"pmp": self._result(ipc=0.97)}
+        strict = {"min_nipc": 1.0}
+        assert not self._evaluate(strict, results, baseline).ok
+        slack = {"min_nipc": 1.0, "tolerance": 0.05}
+        report = self._evaluate(slack, results, baseline)
+        assert report.ok
+        assert any("tolerance" in p for p in report.passed)
+        # max_* bounds stretch upward by the same fraction.
+        results = {"pmp": self._result(dram=104)}
+        assert not self._evaluate({"max_nmt": 1.0}, results, baseline).ok
+        assert self._evaluate({"max_nmt": 1.0, "tolerance": 0.05},
+                              results, baseline).ok
+
+    def test_tolerance_applies_to_nipc_order(self):
+        baseline = self._result(ipc=1.0, name="baseline")
+        results = {"pmp": self._result(ipc=1.18),
+                   "spp": self._result(ipc=1.20, name="spp")}
+        strict = {"nipc_order": ["pmp", "spp"]}
+        assert not self._evaluate(strict, results, baseline).ok
+        assert self._evaluate({**strict, "tolerance": 0.05},
+                              results, baseline).ok
+
+    def test_tolerance_does_not_slacken_mpki(self):
+        # MPKI measures the trace, not the simulation: exact.
+        report = self._evaluate({"min_mpki": 10.5, "tolerance": 0.1})
+        assert not report.ok
+
+    def test_out_of_range_tolerance_raises(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            self._evaluate({"tolerance": 1.0, "min_ipc": 0.5})
 
 
 class TestCliExitCodes:
