@@ -133,6 +133,18 @@ def _sampling(args: argparse.Namespace):
     return SamplingConfig(**overrides)
 
 
+def _fabric(args: argparse.Namespace):
+    """The run's FabricConfig, or None when --fabric is off."""
+    if not getattr(args, "fabric", False):
+        return None
+    from .fabric.lease import FabricConfig
+
+    return FabricConfig(lease_ttl=args.lease_ttl,
+                        poll_interval=args.fabric_poll,
+                        worker_grace=args.fabric_grace,
+                        inline_fallback=args.inline_fallback)
+
+
 def _runner(args: argparse.Namespace) -> SuiteRunner:
     store = None
     if args.trace_cache:
@@ -147,7 +159,8 @@ def _runner(args: argparse.Namespace) -> SuiteRunner:
                          job_timeout=args.job_timeout,
                          fail_fast=args.fail_fast,
                          journal=_journal(args),
-                         sampling=_sampling(args))
+                         sampling=_sampling(args),
+                         fabric=_fabric(args))
     # main() writes one manifest per experiment from the runners it
     # created; the signal handler stops every engine ever registered.
     args.created_runners.append(runner)
@@ -314,6 +327,12 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "sample":
         from .sampling.cli import sample_main
         return sample_main(argv[1:])
+    # `pmp-repro fabric ...` is the lease-based distributed fabric:
+    # `worker` and `status` own their argument sets; `broker <experiment>`
+    # delegates back here with --fabric appended.
+    if argv and argv[0] == "fabric":
+        from .fabric.cli import fabric_main
+        return fabric_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="pmp-repro",
         description="Reproduce the PMP paper's tables and figures.")
@@ -380,6 +399,30 @@ def main(argv: list[str] | None = None) -> int:
                         help="abort on the first deterministic job failure "
                              "instead of finishing the batch and reporting "
                              "every failure in the manifest")
+    parser.add_argument("--fabric", action="store_true",
+                        help="distribute simulate() jobs as durable lease "
+                             "files under <cache-dir>/runs/<run-id>/ for "
+                             "`pmp-repro fabric worker` processes (same "
+                             "host or NFS peers); survives any worker "
+                             "dying.  Requires journaling.")
+    parser.add_argument("--lease-ttl", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="fabric: reassign a claimed job when its "
+                             "worker's heartbeat is older than this")
+    parser.add_argument("--fabric-grace", type=float, default=15.0,
+                        metavar="SECONDS",
+                        help="fabric: with zero live workers for this "
+                             "long, degrade to in-process execution (or "
+                             "fail the batch under --no-inline-fallback)")
+    parser.add_argument("--fabric-poll", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="fabric: broker lease-scan cadence")
+    parser.add_argument("--inline-fallback",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="fabric: complete the batch in-process when "
+                             "every worker is gone (--no-inline-fallback "
+                             "turns worker loss into structured "
+                             "lease-expired job failures instead)")
     parser.add_argument("--journal", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="journal finished jobs under "
@@ -396,6 +439,9 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_CHECK_INVARIANTS"] = "1"
     if args.resume and not args.journal:
         parser.error("--resume requires journaling (drop --no-journal)")
+    if args.fabric and not args.journal:
+        parser.error("--fabric requires journaling (the lease directories "
+                     "live under the journal's run directory)")
     args.all_runners = []
     args.journal_obj = None
     if args.resume:

@@ -171,9 +171,20 @@ class ResultCache:
         return SimResult.from_dict(data["result"])
 
     def _quarantine(self, key: str, path: Path, reason: str) -> None:
-        """Move a corrupt entry aside (counted, logged, kept for autopsy)."""
+        """Move a corrupt entry aside (counted, logged, kept for autopsy).
+
+        Destinations are suffixed (``<key>.1.json``, ``<key>.2.json``…)
+        when the name is taken: a key that is re-corrupted after being
+        re-simulated must not overwrite the earlier evidence —
+        recurring corruption of one key is exactly the post-mortem case
+        the quarantine exists for.
+        """
         self.corrupt += 1
         destination = self.quarantine_dir / path.name
+        suffix = 0
+        while destination.exists():
+            suffix += 1
+            destination = self.quarantine_dir / f"{path.stem}.{suffix}{path.suffix}"
         try:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
             path.replace(destination)

@@ -48,6 +48,7 @@ from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
                                 ProcessPoolExecutor)
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -62,9 +63,12 @@ from ..sim.stats import SimResult
 from .cache import CACHE_VERSION, ResultCache, fingerprint, prefetcher_fingerprint
 from .faults import (KIND_POOL_CRASH, KIND_RAISE, KIND_TIMEOUT, BatchFailed,
                      FaultPolicy, JobFailure, JobTimeout, RunInterrupted,
-                     chaos_enabled, failure_from_exception,
+                     RemoteJobError, chaos_enabled, failure_from_exception,
                      has_remote_traceback, maybe_inject_chaos)
 from .journal import RunJournal
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.fabric imports us)
+    from ..fabric.lease import FabricConfig
 
 log = logging.getLogger("repro.experiments.engine")
 
@@ -161,8 +165,18 @@ class EngineCounters:
     #: Jobs replayed from a resumed run's journal.
     journal_replayed: int = 0
     #: Jobs executed in-process because they could not cross the process
-    #: boundary (pickling) or the pool-rebuild budget was exhausted.
+    #: boundary (pickling) or the pool-rebuild budget was exhausted —
+    #: or, in fabric mode, because every worker died (graceful
+    #: degradation claims the remainder as "broker-inline").
     inline_fallbacks: int = 0
+    # ---- fabric (lease-based distribution) accounting ----
+    #: Claimed leases reaped because their heartbeat went stale (one per
+    #: expiry, so a job can contribute several).
+    lease_expired: int = 0
+    #: Expired leases republished at a bumped epoch for another worker.
+    lease_reassigned: int = 0
+    #: Jobs completed by external fabric workers (not inline fallback).
+    fabric_completed: int = 0
     # Accumulated {event: {component: count}} from jobs that ran with
     # trace_events on (cache hits included — traced results round-trip
     # their counters through the cache).
@@ -183,6 +197,9 @@ class EngineCounters:
             "pool_rebuilds": self.pool_rebuilds,
             "journal_replayed": self.journal_replayed,
             "inline_fallbacks": self.inline_fallbacks,
+            "lease_expired": self.lease_expired,
+            "lease_reassigned": self.lease_reassigned,
+            "fabric_completed": self.fabric_completed,
         }
         if self.event_totals:
             data["event_counters"] = self.event_totals
@@ -209,8 +226,15 @@ class ExperimentEngine:
     counters: EngineCounters = field(default_factory=EngineCounters)
     policy: FaultPolicy = field(default_factory=FaultPolicy)
     journal: RunJournal | None = None
+    #: Lease-based distributed execution (repro.fabric).  When set, the
+    #: batch is published as durable leases under the journal's run
+    #: directory and external ``pmp-repro fabric worker`` processes do
+    #: the simulating; requires ``journal``.
+    fabric: "FabricConfig | None" = None
     #: JobFailure records accumulated across batches (manifest fodder).
     failures: list[JobFailure] = field(default_factory=list)
+    #: Worker census of the last fabric batch (manifest fodder).
+    fabric_census: list = field(default_factory=list, init=False, repr=False)
     _stop: bool = field(default=False, init=False, repr=False)
 
     def request_stop(self) -> None:
@@ -234,7 +258,7 @@ class ExperimentEngine:
         results: list[SimResult | None] = [None] * len(jobs)
         pending: list[tuple[int, SimJob, str | None]] = []
         need_key = (self.cache is not None or self.journal is not None
-                    or chaos_enabled())
+                    or self.fabric is not None or chaos_enabled())
         for index, job in enumerate(jobs):
             key = job.key() if need_key else None
             if self.journal is not None and key is not None:
@@ -254,7 +278,9 @@ class ExperimentEngine:
 
         try:
             if pending:
-                if self.workers > 1 and len(pending) > 1:
+                if self.fabric is not None:
+                    self._run_fabric(pending, results)
+                elif self.workers > 1 and len(pending) > 1:
                     self._run_parallel(pending, results)
                 else:
                     self._run_serial(pending, results)
@@ -297,15 +323,24 @@ class ExperimentEngine:
             item.index, item.key, item.job.trace.name,
             item.job.prefetcher.name, kind, exc,
             attempts=max(1, item.attempts))
+        self._register_failure(failure, exc)
+
+    def _register_failure(self, failure: JobFailure,
+                          cause: BaseException | None) -> None:
+        """Count, log and journal a structured failure (fabric brokers
+        report failures in this form directly — the original exception
+        object never crossed the filesystem)."""
         log.warning("job %d (%s/%s) failed [%s after %d attempt(s)]: %s",
-                    item.index, failure.trace_name, failure.prefetcher_name,
-                    kind, failure.attempts, failure.message)
+                    failure.index, failure.trace_name,
+                    failure.prefetcher_name, failure.kind, failure.attempts,
+                    failure.message)
         self.counters.failed += 1
         self.failures.append(failure)
         if self.journal is not None:
-            self.journal.record_failure(item.key, failure)
+            self.journal.record_failure(failure.key, failure)
         if self.policy.fail_fast:
-            raise exc
+            raise cause if cause is not None else RemoteJobError(
+                f"{failure.error_type}: {failure.message}")
 
     def _flush_journal(self) -> None:
         if self.journal is not None:
@@ -338,6 +373,51 @@ class ExperimentEngine:
                 self._fail(item, KIND_RAISE, exc)
                 continue
             self._complete(results, item, result)
+
+    # ------------------------------------------------------------- fabric path
+
+    def _run_fabric(self, pending: list[tuple[int, SimJob, str | None]],
+                    results: list[SimResult | None]) -> None:
+        """Distribute pending jobs as durable leases (repro.fabric).
+
+        The broker publishes every job under the journal's run directory
+        and consumes completions back through the same ``_complete`` /
+        ``_register_failure`` plumbing the in-process paths use, so
+        caching, journaling and failure accounting are identical — and a
+        fabric run's numbers are bit-identical to a serial run's.
+        """
+        from ..fabric.broker import FabricBroker
+        from ..fabric.protocol import BATCH_PAUSED
+        if self.journal is None:
+            raise ValueError(
+                "fabric execution requires a run journal (the lease "
+                "directories live under the journal's run directory)")
+
+        def inline(item: _WorkItem) -> dict | None:
+            item.attempts += 1
+            try:
+                result = self._simulate_inline(item.job)
+            except Exception as exc:
+                self._fail(item, KIND_RAISE, exc)
+                return None
+            self._complete(results, item, result)
+            return result.to_dict()
+
+        broker = FabricBroker(
+            run_dir=self.journal.directory, run_id=self.journal.run_id,
+            config=self.fabric, policy=self.policy, counters=self.counters,
+            on_result=lambda item, result: self._complete(
+                results, item, result),
+            on_failure=self._register_failure,
+            inline=inline,
+            should_stop=lambda: self._stop)
+        try:
+            status = broker.run(list(self._work_items(pending)))
+        finally:
+            self.fabric_census = broker.census_snapshot()
+        if status == BATCH_PAUSED:
+            self._flush_journal()
+            raise self._interrupted(results)
 
     # ----------------------------------------------------------- parallel path
 

@@ -40,7 +40,7 @@ import os
 import time
 import traceback as traceback_module
 from concurrent.futures import BrokenExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
@@ -50,14 +50,33 @@ log = logging.getLogger("repro.experiments.faults")
 KIND_RAISE = "raise"          # deterministic exception inside simulate()
 KIND_TIMEOUT = "timeout"      # watchdog deadline exceeded, retries exhausted
 KIND_POOL_CRASH = "pool-crash"  # worker/pool death, retries exhausted
+KIND_LEASE_EXPIRED = "lease-expired"  # fabric lease reaped, retries exhausted
 
 
 class JobTimeout(RuntimeError):
     """A job exceeded the per-job wall-clock budget (watchdog kill)."""
 
 
+class LeaseExpired(RuntimeError):
+    """A fabric lease lost its holder's heartbeat too many times.
+
+    A lease expiry is the fabric's transport fault: the worker holding
+    the claim died (or partitioned) without producing an answer, so the
+    job itself is innocent.  The broker retries by reassignment up to
+    ``FaultPolicy.max_attempts``; this exception marks the exhaustion.
+    """
+
+
+class RemoteJobError(RuntimeError):
+    """A fabric worker reported a deterministic ``simulate()`` failure.
+
+    Raised in the broker process under ``fail_fast`` when the original
+    exception object is unavailable (only the worker's formatted
+    traceback crossed the filesystem)."""
+
+
 class BatchFailed(RuntimeError):
-    """A batch finished, but some jobs failed deterministically.
+    """A batch finished, but some jobs failed terminally.
 
     Raised *after* the batch ran to completion (every other job's result
     is simulated, cached and journaled), so a rerun only re-executes the
@@ -68,8 +87,9 @@ class BatchFailed(RuntimeError):
 
     def __init__(self, failures: list["JobFailure"], results: list) -> None:
         names = ", ".join(sorted({f.trace_name for f in failures}))
+        kinds = ", ".join(sorted({f.kind for f in failures}))
         super().__init__(
-            f"{len(failures)} job(s) failed deterministically ({names}); "
+            f"{len(failures)} job(s) failed ({kinds}) on {names}; "
             "see .failures for tracebacks")
         self.failures = failures
         self.results = results
@@ -143,6 +163,25 @@ def failure_from_exception(index: int, key: str | None, trace_name: str,
                       prefetcher_name=prefetcher_name, kind=kind,
                       error_type=type(exc).__name__, message=str(exc),
                       traceback=tb, attempts=attempts)
+
+
+def lease_expiry_failure(index: int, key: str | None, trace_name: str,
+                         prefetcher_name: str, attempts: int,
+                         reason: str) -> JobFailure:
+    """The structured record of a lease that expired its retry budget.
+
+    Lease expiries carry no traceback (the worker vanished rather than
+    raised), so the record spells out the transport-vs-deterministic
+    classification in its message instead.
+    """
+    message = (f"lease expired {attempts} time(s) without a result "
+               f"(transport fault — worker lost, job innocent): {reason}")
+    return JobFailure(index=index, key=key, trace_name=trace_name,
+                      prefetcher_name=prefetcher_name,
+                      kind=KIND_LEASE_EXPIRED, error_type="LeaseExpired",
+                      message=message,
+                      traceback=f"LeaseExpired: {message}\n",
+                      attempts=attempts)
 
 
 # --------------------------------------------------------------- classification

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 import time
@@ -37,6 +38,8 @@ from pathlib import Path
 from ..sim.stats import SimResult
 from .faults import JobFailure
 from .manifest import current_git_sha
+
+log = logging.getLogger("repro.experiments.journal")
 
 _RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
@@ -87,13 +90,25 @@ class RunJournal:
 
     @classmethod
     def resume(cls, root: str | Path, run_id: str) -> "RunJournal":
-        """Open an existing run for resumption; error if it never ran."""
+        """Open an existing run for resumption; error if it never ran.
+
+        The journal is compacted on the way in: resume is the natural
+        boundary where dead lines (corrupt tails from the crash being
+        resumed, failures since superseded by completions) stop paying
+        rent, and compaction is lossless by construction — it snapshots
+        exactly the live state a replay consumes.
+        """
         directory = Path(root) / run_id
         if not directory.is_dir():
             raise FileNotFoundError(
                 f"no journaled run {run_id!r} under {root} "
                 f"(expected {directory})")
-        return cls(root, run_id)
+        journal = cls(root, run_id)
+        dropped = journal.compact()
+        if dropped:
+            log.info("run %s: compacted journal, dropped %d dead line(s)",
+                     run_id, dropped)
+        return journal
 
     # ----------------------------------------------------------------- loading
 
@@ -157,6 +172,44 @@ class RunJournal:
         self._failed[key] = failure
         self._append({"key": key, "status": "failed",
                       "failure": failure.to_dict()})
+
+    def compact(self) -> int:
+        """Rewrite ``journal.jsonl`` to exactly one line per live key.
+
+        A run that crashed, was resumed, or saw failures later
+        superseded by completions carries lines a replay never consumes
+        (plus any corrupt tail the crash left).  Compaction snapshots
+        the live state — every ``done`` record and every still-standing
+        ``failed`` record — into a fresh file written and fsynced next
+        to the original and atomically swapped in, so a crash *during*
+        compaction leaves one intact journal or the other, never a
+        hybrid.  Lossless by construction: the in-memory maps that
+        drive replay are exactly what is written back.
+
+        Returns how many lines were dropped.
+        """
+        before = 0
+        if self.journal_path.exists():
+            with self.journal_path.open() as fh:
+                before = sum(1 for line in fh if line.strip())
+        records = [{"key": key, "status": "done", "result": result.to_dict()}
+                   for key, result in sorted(self._done.items())]
+        records += [{"key": key, "status": "failed",
+                     "failure": failure.to_dict()}
+                    for key, failure in sorted(self._failed.items())]
+        tmp = self.directory / "journal.jsonl.tmp"
+        with tmp.open("w") as fh:
+            for record in records:
+                record = {"checksum": _line_checksum(record), **record}
+                fh.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.journal_path)
+        self._fh = self.journal_path.open("a")
+        self.skipped_lines = 0
+        return before - len(records)
 
     def flush(self) -> None:
         """Push the journal to stable storage (fsync)."""

@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..memtrace.store import TraceStore
 from ..memtrace.trace import Trace
@@ -45,6 +45,9 @@ from .engine import ExperimentEngine, SimJob
 from .faults import FaultPolicy
 from .journal import RunJournal
 from .manifest import RunManifest
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.fabric imports us)
+    from ..fabric.lease import FabricConfig
 
 PrefetcherFactory = Callable[[], Prefetcher]
 
@@ -97,6 +100,10 @@ class SuiteRunner:
     # estimates, so the engine's cache keys are salted with the sampling
     # fingerprint — sampled and exact runs never alias.
     sampling: "SamplingConfig | None" = None
+    # Lease-based distributed execution (repro.fabric): jobs are
+    # published as durable leases under the journal's run directory for
+    # external `pmp-repro fabric worker` processes.  Requires journal.
+    fabric: "FabricConfig | None" = None
 
     def __post_init__(self) -> None:
         self._traces: list[Trace] | None = None
@@ -108,10 +115,14 @@ class SuiteRunner:
             self.cache = ResultCache(self.cache)
         if isinstance(self.journal, (str, Path)):
             self.journal = RunJournal(self.journal)
+        if self.fabric is not None and self.journal is None:
+            raise ValueError("fabric execution requires a run journal "
+                             "(drop --no-journal)")
         policy = FaultPolicy(job_timeout=self.job_timeout,
                              fail_fast=self.fail_fast)
         self.engine = ExperimentEngine(workers=self.workers, cache=self.cache,
-                                       policy=policy, journal=self.journal)
+                                       policy=policy, journal=self.journal,
+                                       fabric=self.fabric)
 
     @property
     def traces(self) -> list[Trace]:
@@ -291,6 +302,16 @@ class SuiteRunner:
             # InvariantViolation (a violation aborts the run).
             extra["invariant_audit"] = {"simulations_audited": counters.audited,
                                         "violations": 0}
+        if self.fabric is not None:
+            extra["fabric"] = {
+                "lease_ttl": self.fabric.lease_ttl,
+                "inline_fallback": self.fabric.inline_fallback,
+                "lease_expired": counters.lease_expired,
+                "lease_reassigned": counters.lease_reassigned,
+                "completed_by_workers": counters.fabric_completed,
+                "inline_fallbacks": counters.inline_fallbacks,
+                "workers": self.engine.fabric_census,
+            }
         fault = {key: value for key, value in (
             ("pool_rebuilds", counters.pool_rebuilds),
             ("journal_replayed", counters.journal_replayed),

@@ -1,0 +1,348 @@
+"""The fabric broker: publishes leases, reaps the dead, never hangs.
+
+The broker is embedded in the :class:`~repro.experiments.engine.
+ExperimentEngine` (``fabric`` execution mode): it publishes every
+pending job as a durable lease plus a pickled payload, then polls the
+lease directories, consuming completions into the engine's journal and
+cache the moment they land, and running the PR-4 fault policy — promoted
+to **per-lease** semantics — against everything else:
+
+* a claim whose heartbeat is older than ``lease_ttl`` is **reaped**:
+  attempts+1, epoch+1, republished with a ``FaultPolicy.backoff``
+  ``not_before`` stamp (the transport-failure treatment — the machinery
+  died, the job is innocent);
+* a lease that expires ``FaultPolicy.max_attempts`` times is classified
+  as a structured lease-expired :class:`~repro.experiments.faults.
+  JobFailure` — a worker-shaped fault can delay a batch, never hang it;
+* a worker-reported exception is **deterministic** (the job really ran
+  and really raised): no retry, straight to a :class:`JobFailure`
+  carrying the worker's traceback, exactly like the process-pool path;
+* zero live workers for ``worker_grace`` seconds degrades the remainder
+  to in-process execution (loudly, counted in the manifest) — or, with
+  ``inline_fallback`` off, fails it as lease expiries.
+
+Crash tolerance is symmetric: a broker that dies and resumes harvests
+any ``done/`` records a worker landed while it was gone, so no finished
+simulation is ever re-run.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..experiments.faults import (KIND_RAISE, FaultPolicy, JobFailure,
+                                  LeaseExpired, lease_expiry_failure)
+from ..sim.stats import SimResult
+from . import lease as lease_mod
+from .lease import FabricConfig, verified_result
+from .protocol import (BATCH_COMPLETE, BATCH_OPEN, BATCH_PAUSED,
+                       ensure_layout, heartbeat_age, jobs_dir, lease_filename,
+                       live_workers, read_json, scan_leases, scan_workers,
+                       state_dir, write_batch)
+
+log = logging.getLogger("repro.fabric.broker")
+
+#: The census identity the broker uses when claiming leases itself.
+INLINE_WORKER = "broker-inline"
+
+
+@dataclass
+class _LeaseState:
+    """Broker-side view of one job's lease."""
+
+    item: object                # engine _WorkItem: index/job/key/payload
+    epoch: int = 0
+    attempts: int = 0
+
+
+@dataclass
+class FabricBroker:
+    """Drives one batch of work items through the lease directories."""
+
+    run_dir: Path
+    run_id: str | None
+    config: FabricConfig
+    policy: FaultPolicy
+    counters: object            # EngineCounters (duck-typed)
+    #: ``on_result(item, SimResult)`` — place/cache/journal a completion.
+    on_result: Callable[[object, SimResult], None]
+    #: ``on_failure(failure, cause)`` — record a structured JobFailure.
+    on_failure: Callable[[object, BaseException | None], None]
+    #: ``inline(item) -> result dict | None`` — simulate in-process
+    #: (completing or failing through the engine) and return the result
+    #: payload for the on-disk done record, or None on failure.
+    inline: Callable[[object], dict | None]
+    should_stop: Callable[[], bool] = lambda: False
+    sleep: Callable[[float], None] = time.sleep
+
+    _state: dict[str, _LeaseState] = field(default_factory=dict, init=False)
+    _outstanding: set[str] = field(default_factory=set, init=False)
+    _fallback: bool = field(default=False, init=False)
+    _census: dict[str, dict] = field(default_factory=dict, init=False)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def run(self, items: list) -> str:
+        """Publish ``items`` and poll to completion.
+
+        Returns :data:`BATCH_COMPLETE` when every job is accounted for
+        (result or structured failure) or :data:`BATCH_PAUSED` when
+        ``should_stop`` fired — everything consumed so far is already in
+        the journal, so a resumed run picks up the rest.
+        """
+        ensure_layout(self.run_dir)
+        self._publish(items)
+        last_alive = time.time()
+        while self._outstanding:
+            if self.should_stop():
+                write_batch(self.run_dir, BATCH_PAUSED,
+                            len(items), self.run_id)
+                return BATCH_PAUSED
+            progressed = self._consume_done()
+            progressed |= self._consume_failed()
+            self._reap_expired()
+            live = live_workers(self.run_dir, self.config.lease_ttl)
+            self._update_census(live)
+            now = time.time()
+            if live or progressed:
+                last_alive = now
+            if (self._outstanding and not self._fallback
+                    and not live
+                    and now - last_alive > self.config.worker_grace):
+                self._handle_worker_collapse()
+            if self._fallback:
+                self._drain_inline()
+            if self._outstanding and not progressed:
+                self.sleep(self.config.poll_interval)
+        write_batch(self.run_dir, BATCH_COMPLETE, len(items), self.run_id)
+        self._update_census(live_workers(self.run_dir, self.config.lease_ttl))
+        return BATCH_COMPLETE
+
+    def census_snapshot(self) -> list[dict]:
+        """Worker census for the run manifest (stable order)."""
+        return [self._census[worker_id]
+                for worker_id in sorted(self._census)]
+
+    # ------------------------------------------------------------- publishing
+
+    def _publish(self, items: list) -> None:
+        """Write payloads + open leases; harvest work a prior broker lost.
+
+        A completion that landed in ``done/`` after the previous broker
+        died (but before the journal recorded it) is consumed here
+        instead of being republished — the crash costs nothing.
+        """
+        leftovers = scan_leases(self.run_dir, "done")
+        for item in items:
+            key = item.key
+            self._state[key] = _LeaseState(item)
+            self._outstanding.add(key)
+            if key in leftovers:
+                record = read_json(leftovers[key][1])
+                result = verified_result(record)
+                if result is not None:
+                    self._sweep_key(key, also_done=False)
+                    self._finish(key, record, result)
+                    continue
+            self._sweep_key(key, also_done=True)
+            payload_path = jobs_dir(self.run_dir) / f"{key}.job"
+            with payload_path.open("wb") as fh:
+                fh.write(pickle.dumps(item.payload))
+            lease_mod.publish(self.run_dir, key, 0, {
+                "index": item.index,
+                "attempts": 0,
+                "trace": item.job.trace.name,
+                "prefetcher": item.job.prefetcher.name,
+                "payload": f"jobs/{key}.job",
+            })
+        write_batch(self.run_dir, BATCH_OPEN, len(items), self.run_id)
+
+    def _sweep_key(self, key: str, also_done: bool) -> None:
+        """Delete stale lease files for a key being (re)published."""
+        states = ("open", "claimed", "failed") + (("done",) if also_done else ())
+        for state in states:
+            directory = state_dir(self.run_dir, state)
+            for stale in directory.glob(f"{key}.e*.json"):
+                stale.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------ consumption
+
+    def _finish(self, key: str, record: dict | None, result: dict) -> None:
+        state = self._state[key]
+        self.on_result(state.item, SimResult.from_dict(result))
+        self._outstanding.discard(key)
+        worker = (record or {}).get("worker")
+        if worker and worker != INLINE_WORKER:
+            self.counters.fabric_completed += 1
+            entry = self._census.setdefault(
+                worker, {"worker_id": worker, "jobs_done": 0, "live": False})
+            entry["jobs_done"] = entry.get("jobs_done", 0) + 1
+
+    def _consume_done(self) -> bool:
+        progressed = False
+        for key, (epoch, path) in scan_leases(self.run_dir, "done").items():
+            if key not in self._outstanding:
+                continue
+            record = read_json(path)
+            result = verified_result(record)
+            if result is None:
+                # Torn or corrupt completion: drop the record and treat
+                # it as one more transport fault against the lease.
+                path.unlink(missing_ok=True)
+                self._expire(key, reason="corrupt done record")
+                continue
+            self._finish(key, record, result)
+            # Any lease files the (possibly stale) pipeline left behind.
+            self._sweep_key(key, also_done=False)
+            progressed = True
+        return progressed
+
+    def _consume_failed(self) -> bool:
+        progressed = False
+        for key, (epoch, path) in scan_leases(self.run_dir, "failed").items():
+            if key not in self._outstanding:
+                continue
+            record = read_json(path)
+            if record is None or not isinstance(record.get("failure"), dict):
+                path.unlink(missing_ok=True)
+                self._expire(key, reason="corrupt failure record")
+                continue
+            state = self._state[key]
+            reported = record["failure"]
+            failure = JobFailure(
+                index=state.item.index, key=key,
+                trace_name=state.item.job.trace.name,
+                prefetcher_name=state.item.job.prefetcher.name,
+                kind=KIND_RAISE,
+                error_type=str(reported.get("error_type", "Exception")),
+                message=str(reported.get("message", "")),
+                traceback=str(reported.get("traceback", "")),
+                attempts=state.attempts + 1)
+            self._outstanding.discard(key)
+            self._sweep_key(key, also_done=True)
+            self.on_failure(failure, None)
+            progressed = True
+        return progressed
+
+    # ----------------------------------------------------------------- reaping
+
+    def _reap_expired(self) -> None:
+        claimed = scan_leases(self.run_dir, "claimed")
+        for key, (epoch, path) in claimed.items():
+            if key not in self._outstanding:
+                path.unlink(missing_ok=True)  # finished elsewhere; stale
+                continue
+            state = self._state[key]
+            if epoch < state.epoch:
+                path.unlink(missing_ok=True)  # fenced-off zombie claim
+                continue
+            state.epoch = max(state.epoch, epoch)
+            age = heartbeat_age(path)
+            if age is None:
+                continue  # completed/reaped between scan and stat
+            if age > self.config.lease_ttl:
+                self._expire(key, reason=f"heartbeat stale for {age:.1f}s")
+
+    def _expire(self, key: str, reason: str) -> None:
+        """One transport fault against a lease: retry or classify."""
+        state = self._state[key]
+        state.attempts += 1
+        self.counters.lease_expired += 1
+        log.warning("lease %s… expired (attempt %d/%d): %s", key[:12],
+                    state.attempts, self.policy.max_attempts, reason)
+        claimed = state_dir(self.run_dir, "claimed") / lease_filename(
+            key, state.epoch)
+        if state.attempts >= self.policy.max_attempts:
+            claimed.unlink(missing_ok=True)
+            self._outstanding.discard(key)
+            failure = lease_expiry_failure(
+                state.item.index, key, state.item.job.trace.name,
+                state.item.job.prefetcher.name, state.attempts, reason)
+            self.on_failure(failure, LeaseExpired(failure.message))
+            return
+        record = read_json(claimed) or {
+            "index": state.item.index, "attempts": state.attempts - 1,
+            "trace": state.item.job.trace.name,
+            "prefetcher": state.item.job.prefetcher.name,
+            "payload": f"jobs/{key}.job"}
+        not_before = time.time() + self.policy.backoff(state.attempts)
+        lease_mod.reap(self.run_dir, key, state.epoch, record, not_before)
+        state.epoch += 1
+        self.counters.lease_reassigned += 1
+        self.counters.retried += 1
+
+    # ------------------------------------------------------------ degradation
+
+    def _handle_worker_collapse(self) -> None:
+        remaining = len(self._outstanding)
+        if self.config.inline_fallback:
+            log.warning(
+                "fabric: no live workers for %.1fs — completing the "
+                "remaining %d job(s) in-process",
+                self.config.worker_grace, remaining)
+            self._fallback = True
+            return
+        log.warning(
+            "fabric: no live workers for %.1fs and inline fallback is "
+            "disabled — failing the remaining %d job(s)",
+            self.config.worker_grace, remaining)
+        for key in sorted(self._outstanding):
+            state = self._state[key]
+            state.attempts += 1
+            self.counters.lease_expired += 1
+            self._sweep_key(key, also_done=True)
+            failure = lease_expiry_failure(
+                state.item.index, key, state.item.job.trace.name,
+                state.item.job.prefetcher.name, state.attempts,
+                "no live workers and inline fallback disabled")
+            self._outstanding.discard(key)
+            self.on_failure(failure, LeaseExpired(failure.message))
+
+    def _drain_inline(self) -> None:
+        """Fallback mode: claim whatever is open and simulate it here.
+
+        Claimed-but-dead leases are left to age out through the normal
+        reap path (they reopen with their attempt counters intact), so
+        the manifest still tells the full story.
+        """
+        for key, (epoch, _path) in sorted(
+                scan_leases(self.run_dir, "open").items()):
+            if key not in self._outstanding:
+                continue
+            if self.should_stop():
+                return
+            state = self._state[key]
+            record = lease_mod.claim(self.run_dir, key, epoch, INLINE_WORKER,
+                                     now=float("inf"))
+            if record is None:
+                continue  # a worker came back and won the race — fine
+            state.epoch = max(state.epoch, epoch)
+            self.counters.inline_fallbacks += 1
+            result = self.inline(state.item)
+            if result is not None:
+                lease_mod.complete(self.run_dir, record, result)
+            else:
+                claimed = state_dir(self.run_dir, "claimed") / lease_filename(
+                    key, epoch)
+                claimed.unlink(missing_ok=True)
+            self._outstanding.discard(key)
+            self._sweep_key(key, also_done=False)
+
+    # ---------------------------------------------------------------- census
+
+    def _update_census(self, live: dict[str, dict]) -> None:
+        for worker_id, (path, record) in scan_workers(self.run_dir).items():
+            entry = self._census.setdefault(
+                worker_id, {"worker_id": worker_id, "jobs_done": 0})
+            entry.update(
+                pid=record.get("pid"), host=record.get("host"),
+                live=worker_id in live,
+                last_heartbeat_age=heartbeat_age(path))
+            if isinstance(record.get("jobs_done"), int):
+                entry["jobs_done"] = max(entry.get("jobs_done", 0),
+                                         record["jobs_done"])

@@ -99,6 +99,85 @@ class FaultyPrefetcher(PMP):
         return super().on_access(pc, address, cycle, hit, view)
 
 
+# --------------------------------------------------------- fabric injectors
+#
+# Fault injectors for the lease fabric (repro.fabric).  The interesting
+# faults are *process*-shaped — a worker SIGKILLed mid-lease, a worker
+# alive but silent (frozen heartbeat), two workers racing one claim — so
+# the helpers here spawn real `pmp-repro fabric worker` subprocesses and
+# give tests handles to aim the fault: wait until a claim exists, find
+# out which pid holds it, kill it.
+
+
+def spawn_fabric_worker(cache_dir: str | Path, *, run_id: str | None = None,
+                        lease_ttl: float = 2.0, poll: float = 0.05,
+                        max_idle: float = 30.0, worker_id: str | None = None,
+                        claim_hold: float = 0.0,
+                        freeze_heartbeat: bool = False):
+    """Start a real fabric worker process against ``cache_dir``.
+
+    ``claim_hold`` and ``freeze_heartbeat`` arm the worker's chaos env
+    knobs: the first widens the mid-lease window a SIGKILL needs, the
+    second turns the worker into a live-but-silent partition whose
+    claims go stale under it.
+    """
+    import subprocess
+    import sys
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    if claim_hold:
+        env["REPRO_FABRIC_CLAIM_HOLD"] = str(claim_hold)
+    if freeze_heartbeat:
+        env["REPRO_FABRIC_FREEZE_HEARTBEAT"] = "1"
+    cmd = [sys.executable, "-m", "repro.cli", "fabric", "worker",
+           "--cache-dir", str(cache_dir), "--lease-ttl", str(lease_ttl),
+           "--poll", str(poll), "--max-idle", str(max_idle)]
+    if run_id:
+        cmd += ["--run-id", run_id]
+    if worker_id:
+        cmd += ["--worker-id", worker_id]
+    return subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT)
+
+
+def wait_for(predicate, timeout: float = 30.0, interval: float = 0.02):
+    """Poll ``predicate`` until it returns a truthy value (the value) or
+    the timeout expires (AssertionError — chaos tests must never hang)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s: "
+                         f"{predicate}")
+
+
+def wait_for_fabric_claim(run_dir: Path, timeout: float = 30.0) -> dict:
+    """Block until some worker holds a claim; returns the claim record."""
+    from repro.fabric.protocol import read_json, scan_leases
+
+    def claimed():
+        for _key, (_epoch, path) in scan_leases(run_dir, "claimed").items():
+            record = read_json(path)
+            if record is not None and record.get("worker"):
+                return record
+        return None
+
+    return wait_for(claimed, timeout)
+
+
+def claim_holder_pid(record: dict) -> int:
+    """The pid embedded in a claim's worker id (``<host>-<pid>-<hex>``).
+
+    Hostnames may themselves contain dashes, so the pid is parsed from
+    the right.
+    """
+    return int(str(record["worker"]).rsplit("-", 2)[-2])
+
+
 def corrupt_cache_entry(path: Path, how: str = "flip-payload") -> None:
     """Damage one cache entry file in a named, deterministic way."""
     if how == "flip-payload":

@@ -137,6 +137,72 @@ class TestRunJournal:
         assert new_run_id().startswith("run-")
 
 
+class TestJournalCompaction:
+    def _lines(self, journal):
+        return [ln for ln in
+                journal.journal_path.read_text().splitlines() if ln]
+
+    def test_compact_drops_dead_lines_losslessly(self, tmp_path, result):
+        journal = RunJournal(tmp_path, "run-g")
+        journal.record_failure("k1", failure("k1"))
+        journal.record_done("k1", result)   # supersedes the failure line
+        journal.record_done("k2", result)
+        journal.record_failure("k3", failure("k3"))
+        # A corrupt tail, as a crash mid-write would leave it.
+        journal._fh.write('{"torn"\n')
+        journal.flush()
+
+        dropped = journal.compact()
+        assert dropped == 2  # the superseded failure + the torn tail
+        assert len(self._lines(journal)) == 3
+        assert journal.skipped_lines == 0
+        # The live state is untouched, on disk and in memory.
+        assert journal.completed == 2
+        assert journal.failed == 1
+        assert journal.lookup("k1").to_dict() == result.to_dict()
+        journal.close()
+        reopened = RunJournal(tmp_path, "run-g")
+        assert reopened.completed == 2
+        assert reopened.failed == 1
+        assert reopened.skipped_lines == 0
+        assert reopened.lookup("k2").to_dict() == result.to_dict()
+        assert reopened.prior_failure("k3").message == "boom"
+        reopened.close()
+
+    def test_compact_keeps_appending_afterwards(self, tmp_path, result):
+        journal = RunJournal(tmp_path, "run-h")
+        journal.record_failure("k1", failure("k1"))
+        journal.record_done("k1", result)
+        journal.compact()
+        journal.record_done("k2", result)  # the reopened handle appends
+        journal.close()
+        reopened = RunJournal(tmp_path, "run-h")
+        assert reopened.completed == 2
+        assert reopened.skipped_lines == 0
+        reopened.close()
+
+    def test_compact_of_clean_journal_is_a_no_op(self, tmp_path, result):
+        journal = RunJournal(tmp_path, "run-i")
+        journal.record_done("k1", result)
+        before = self._lines(journal)
+        assert journal.compact() == 0
+        assert self._lines(journal) == before
+        journal.close()
+
+    def test_resume_compacts(self, tmp_path, result):
+        journal = RunJournal(tmp_path, "run-j")
+        journal.record_failure("k1", failure("k1"))
+        journal.record_done("k1", result)
+        journal._fh.write('{"torn"\n')
+        journal.close()
+
+        resumed = RunJournal.resume(tmp_path, "run-j")
+        assert len(self._lines(resumed)) == 1
+        assert resumed.completed == 1
+        assert resumed.failed == 0
+        resumed.close()
+
+
 class TestCacheIntegrity:
     def test_entries_carry_version_and_checksum(self, tmp_path, result):
         cache = ResultCache(tmp_path)
@@ -165,6 +231,32 @@ class TestCacheIntegrity:
         # A later probe of the same key is a plain miss, not re-quarantine.
         assert fresh.get("key1") is None
         assert fresh.corrupt == 1
+
+    def test_requarantined_key_keeps_prior_evidence(self, tmp_path, result):
+        # Regression: quarantine destinations used to be `<key>.json`
+        # unconditionally, so a key corrupted, re-simulated, and
+        # corrupted again silently overwrote the first corpse — exactly
+        # the recurring-corruption evidence a post-mortem needs.
+        cache = ResultCache(tmp_path)
+
+        def corrupt_and_probe():
+            cache.put("key1", result)
+            path = cache._path_for("key1")
+            data = json.loads(path.read_text())
+            data["result"]["cycles"] = 999
+            path.write_text(json.dumps(data))
+            assert cache.get("key1") is None
+
+        corrupt_and_probe()
+        corrupt_and_probe()
+        corrupt_and_probe()
+        assert cache.corrupt == 3
+        assert (cache.quarantine_dir / "key1.json").exists()
+        assert (cache.quarantine_dir / "key1.1.json").exists()
+        assert (cache.quarantine_dir / "key1.2.json").exists()
+        # Each event points at the file actually written.
+        paths = [event["path"] for event in cache.corrupt_events]
+        assert len(set(paths)) == 3
 
 
 class TestClassification:
