@@ -27,15 +27,22 @@ from .prefetchers import (
     DesignB,
     DSPatch,
     FillLevel,
+    Gaze,
+    HybridPrefetcher,
     NoPrefetcher,
+    Pangloss,
     PMPConfig,
     Prefetcher,
     PrefetchRequest,
     Pythia,
+    SetDuelingArbiter,
     SMSPrefetcher,
     SPPWithPPF,
+    Triangel,
+    make_hybrid,
     make_pmp,
     make_pmp_limit,
+    register_competitor,
 )
 from .sim import SimResult, SystemConfig, geomean, simulate, simulate_multicore
 from .storage import pmp_budget, table_v
@@ -48,23 +55,30 @@ __all__ = [
     "DSPatch",
     "DesignB",
     "FillLevel",
+    "Gaze",
+    "HybridPrefetcher",
     "MemoryAccess",
     "NoPrefetcher",
     "PMP",
     "PMPConfig",
+    "Pangloss",
     "Prefetcher",
     "PrefetchRequest",
     "Pythia",
     "SMSPrefetcher",
     "SPPWithPPF",
+    "SetDuelingArbiter",
     "SimResult",
     "SystemConfig",
     "Trace",
+    "Triangel",
     "WorkloadSpec",
     "full_suite",
     "geomean",
+    "make_hybrid",
     "make_pmp",
     "make_pmp_limit",
+    "register_competitor",
     "pmp_budget",
     "quick_suite",
     "simulate",

@@ -3,9 +3,11 @@
 Each benchmark isolates one layer the profiler names in end-to-end runs:
 event dispatch (the observer bus), cache lookup/fill (the per-level
 storage), fill-queue churn (deferred fills), PMP counter-vector training
-and pattern extraction/prediction (the prefetcher's hot loops), and
-trace decode (the array → ``MemoryAccess`` path every worker pays per
-job).  Inputs are pinned — fixed seeds, fixed stream lengths — so two
+and pattern extraction/prediction (the prefetcher's hot loops), the zoo
+engines' per-miss train/predict paths plus the hybrid's set-dueling
+arbitration, and trace decode (the array → ``MemoryAccess`` path every
+worker pays per job).  Inputs are pinned — fixed seeds, fixed stream
+lengths — so two
 runs of the same code measure the same work and a ``--compare`` delta
 means the *code* changed speed, not the workload.
 
@@ -22,9 +24,13 @@ import numpy as np
 from ..memtrace.access import MemoryAccess
 from ..memtrace.trace import Trace
 from ..memtrace.workloads import full_suite
-from ..prefetchers.base import FillLevel, NoPrefetcher
+from ..prefetchers.base import FillLevel, NoPrefetcher, NullSystemView
+from ..prefetchers.gaze import Gaze
+from ..prefetchers.hybrid import SetDuelingArbiter
+from ..prefetchers.pangloss import Pangloss
 from ..prefetchers.pmp import PMP, extract_afe
 from ..prefetchers.sms import PatternCaptureFramework
+from ..prefetchers.triangel import Triangel
 from ..sim.cache import Cache, CacheStats, FillQueue, PendingFill
 from ..sim.core import Core
 from ..sim.events import CacheAccess, EventBus
@@ -240,6 +246,70 @@ def _build_fastpath_scan(ops: int):
                                    "hot_lines": hot_lines}
 
 
+def _build_engine_drive(ops: int, make_engine):
+    """Shared shape for the zoo engines: the pinned trace driven all-miss
+    through ``on_access`` against an unbounded view, so the timing covers
+    each engine's full train + predict path (the work the registry pays
+    per L1D miss)."""
+    trace = _pinned_trace(ops)
+    stream = [(access.pc, access.address) for access in trace.accesses]
+    view = NullSystemView()
+    state: dict = {}
+
+    def setup() -> None:
+        state["engine"] = make_engine()
+
+    def fn() -> None:
+        on_access = state["engine"].on_access
+        for pc, address in stream:
+            on_access(pc, address, 0.0, False, view)
+
+    return setup, fn, float(ops), {"accesses_per_call": ops}
+
+
+def _build_pangloss_chain(ops: int):
+    """Pangloss: Markov transition training + greedy chain walks."""
+    return _build_engine_drive(ops, Pangloss)
+
+
+def _build_gaze_pair_predict(ops: int):
+    """Gaze: capture-framework churn + pair-keyed second-access predict."""
+    return _build_engine_drive(ops, Gaze)
+
+
+def _build_triangel_filter(ops: int):
+    """Triangel: sampler filtering + lookahead-2 Markov issue."""
+    return _build_engine_drive(ops, Triangel)
+
+
+def _build_hybrid_duel(ops: int):
+    """Set-dueling arbitration churn in isolation: per-access role
+    selection, attribution-map insert, and feedback consume/PSEL update —
+    the overhead the hybrid adds on top of its constituents."""
+    rng = np.random.default_rng(MICRO_SEED + 3)
+    lines = rng.integers(0, 1 << 20, size=ops).tolist()
+    goods = (rng.integers(0, 2, size=ops) == 1).tolist()
+    state: dict = {}
+
+    def setup() -> None:
+        state["arbiter"] = SetDuelingArbiter()
+
+    def fn() -> None:
+        arbiter = state["arbiter"]
+        select = arbiter.select
+        record = arbiter.record_issue
+        credit, debit = arbiter.credit, arbiter.debit
+        for line, good in zip(lines, goods):
+            engine, role = select(line << 6)
+            record(line, engine, role)
+            if good:
+                credit(line)
+            else:
+                debit(line)
+
+    return setup, fn, float(ops), {"duels_per_call": ops}
+
+
 def _build_trace_decode(ops: int):
     """Rebuild MemoryAccess records from the packed array wire format."""
     trace = _pinned_trace(ops)
@@ -259,6 +329,10 @@ MICRO_BENCHMARKS: tuple[MicroBench, ...] = (
     MicroBench("pmp_extract", "extracts/s", _build_pmp_extract),
     MicroBench("pmp_predict", "predictions/s", _build_pmp_predict),
     MicroBench("fastpath_scan", "accesses/s", _build_fastpath_scan),
+    MicroBench("pangloss_chain", "accesses/s", _build_pangloss_chain),
+    MicroBench("gaze_pair_predict", "accesses/s", _build_gaze_pair_predict),
+    MicroBench("triangel_filter", "accesses/s", _build_triangel_filter),
+    MicroBench("hybrid_duel", "duels/s", _build_hybrid_duel),
     MicroBench("trace_decode", "accesses/s", _build_trace_decode),
 )
 

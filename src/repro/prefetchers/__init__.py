@@ -12,9 +12,12 @@ from .bingo import Bingo
 from .design_b import DesignB
 from .dspatch import DSPatch
 from .extensions import BandwidthAdaptivePMP, OraclePrefetcher
+from .gaze import Gaze
 from .ghb import GHB
+from .hybrid import HybridPrefetcher, SetDuelingArbiter, make_hybrid
 from .isb import ISB
 from .matryoshka import Matryoshka
+from .pangloss import Pangloss
 from .pmp import (
     PMP,
     CounterVector,
@@ -31,6 +34,7 @@ from .pmp import (
 from .pythia import Pythia
 from .simple import BestOffset, NextLine, StridePrefetcher
 from .triage import Triage
+from .triangel import Triangel
 from .sms import (
     CapturedPattern,
     PatternCaptureFramework,
@@ -42,14 +46,48 @@ from .sms import (
 from .spp import SPP, SPPWithPPF
 from .vldp import VLDP
 
-# The paper's five-way headline comparison (Fig 8), ready to instantiate.
-COMPETITORS = {
+class CompetitorRegistry(dict):
+    """Name → factory registry that refuses silent shadowing.
+
+    Registering a name twice used to silently replace the earlier engine
+    — a hazard once plugins/tests started extending the zoo.  Assignment
+    now raises :class:`ValueError` for an existing name; tests that need
+    to swap a factory must ``del`` the old entry first (or build their
+    own dict), making the replacement explicit.
+    """
+
+    def __setitem__(self, name, factory):
+        if name in self:
+            raise ValueError(
+                f"prefetcher {name!r} is already registered; duplicate "
+                "registration would silently shadow the existing engine")
+        super().__setitem__(name, factory)
+
+    def update(self, *args, **kwargs):  # route through the guard
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+
+def register_competitor(name: str, factory) -> None:
+    """Add an engine to :data:`COMPETITORS` (raises on duplicates)."""
+    COMPETITORS[name] = factory
+
+
+# The paper's five-way headline comparison (Fig 8) plus the PR-10 zoo:
+# Pangloss/Gaze/Triangel ports and the set-dueling hybrid.  Iteration
+# order is registration order; experiments sort names where it matters.
+COMPETITORS = CompetitorRegistry()
+COMPETITORS.update({
     "dspatch": DSPatch,
     "bingo": Bingo,
     "spp+ppf": SPPWithPPF,
     "pythia": Pythia,
     "pmp": PMP,
-}
+    "pangloss": Pangloss,
+    "gaze": Gaze,
+    "triangel": Triangel,
+    "hybrid": HybridPrefetcher,
+})
 
 __all__ = [
     "BandwidthAdaptivePMP",
@@ -57,11 +95,14 @@ __all__ = [
     "BestOffset",
     "Bingo",
     "CapturedPattern",
+    "CompetitorRegistry",
     "CounterVector",
     "DSPatch",
     "DesignB",
     "FillLevel",
     "GHB",
+    "Gaze",
+    "HybridPrefetcher",
     "ISB",
     "Matryoshka",
     "NextLine",
@@ -70,6 +111,7 @@ __all__ = [
     "OraclePrefetcher",
     "PMP",
     "PMPConfig",
+    "Pangloss",
     "PatternCaptureFramework",
     "PrefetchBuffer",
     "Prefetcher",
@@ -79,17 +121,21 @@ __all__ = [
     "SPP",
     "SPPWithPPF",
     "SetAssociativeTable",
+    "SetDuelingArbiter",
     "StridePrefetcher",
     "SystemView",
     "Triage",
+    "Triangel",
     "VLDP",
     "arbitrate",
     "coarsen_bits",
     "extract_afe",
     "extract_ane",
     "extract_are",
+    "make_hybrid",
     "make_pmp",
     "make_pmp_limit",
+    "register_competitor",
     "rotate_left",
     "rotate_right",
 ]

@@ -1,0 +1,151 @@
+"""Gaze — spatial prefetching via internal temporal correlations (Zhang
+et al., HPCA 2025 / arXiv:2412.05211).
+
+Gaze is an SMS-family spatial prefetcher with two twists over PC+offset
+indexing:
+
+* **offset-pair indexing**: a region's footprint is predicted from its
+  first *two* accessed offsets (the "internal temporal correlation" — in
+  which order the region is entered) rather than from the load PC.  Two
+  regions entered the same way tend to share footprints even across PCs,
+  and the pair disambiguates patterns a single trigger offset merges.
+* **second-access prediction**: prediction fires at the *second* access
+  of a region generation (the FT→AT promotion), when the pair key is
+  first known.  The paper argues the one-access delay costs little
+  coverage while the sharper index buys accuracy.
+
+Predicted offsets replay nearest-the-current-access-first; targets within
+``near_degree`` lines fill L1D, the rest L2C, approximating the paper's
+two-stage issue.
+
+Hardware budget (modelled by :func:`repro.storage.gaze_budget`): pattern
+table 128 sets x 8 ways of (12-bit offset-pair tag + 64-bit footprint),
+on top of the shared FT/AT capture front end — ~11.1KB total, an order
+of magnitude under Bingo's 127.8KB for the same prediction surface.
+
+Fast path: like PMP, Gaze consumes hit runs through the capture
+framework's non-trigger fast helpers; promotions (its predict point) and
+regions with pending prefetch-buffer targets decline so the slow path
+replays them exactly.
+"""
+
+from __future__ import annotations
+
+from ..memtrace.access import CACHELINE_BITS, lines_per_region
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+from .pmp import PrefetchBuffer
+from .sms import CapturedPattern, PatternCaptureFramework, SetAssociativeTable
+
+
+class Gaze(Prefetcher):
+    """Offset-pair-indexed spatial prefetcher predicting on second access."""
+
+    name = "gaze"
+    supports_hit_runs = True
+
+    def __init__(self, region_bytes: int = 4096, *, table_sets: int = 128,
+                 table_ways: int = 8, near_degree: int = 4,
+                 pb_entries: int = 16) -> None:
+        self.region_bytes = region_bytes
+        self.pattern_length = lines_per_region(region_bytes)
+        self.near_degree = near_degree
+        self.capture = PatternCaptureFramework(region_bytes)
+        # (trigger offset, second offset) -> anchored footprint bit vector.
+        self.pattern_table = SetAssociativeTable(table_sets, table_ways)
+        self.pb = PrefetchBuffer(entries=pb_entries)
+        # In-flight AT region -> second offset, so a completed pattern can
+        # be filed under its pair key.  Bounded defensively above the AT
+        # capacity; a missing entry just skips learning that pattern.
+        self._second: dict[int, int] = {}
+        self._region_mask = ~(region_bytes - 1)
+        self._offset_mask = region_bytes - 1
+
+    def _key(self, trigger_offset: int, second_offset: int) -> int:
+        # Shift so SetAssociativeTable's >>12 set hash sees the pair.
+        return ((trigger_offset << 6) | second_offset) << 12
+
+    def _learn(self, pattern: CapturedPattern) -> None:
+        second = self._second.pop(pattern.region, None)
+        if second is None:
+            return
+        self.pattern_table.insert(self._key(pattern.trigger_offset, second),
+                                  pattern.anchored())
+
+    def _note_second(self, region: int, offset: int) -> None:
+        if len(self._second) >= 128:
+            self._second.clear()  # safety valve; never hit in practice
+        self._second[region] = offset
+
+    def on_evict(self, line_address: int) -> None:
+        pattern = self.capture.end_region(line_address & self._region_mask)
+        if pattern is not None:
+            self._learn(pattern)
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        region = address & self._region_mask
+        was_in_at = region in self.capture.accumulation_table
+        is_trigger, offset, completed = self.capture.observe(pc, address)
+        for pattern in completed:
+            self._learn(pattern)
+        if is_trigger or was_in_at:
+            return self.pb.drain(region, view)
+        if region not in self.capture.accumulation_table:
+            return self.pb.drain(region, view)  # same-offset filter re-hit
+
+        # FT→AT promotion: this is the second access, Gaze's predict point.
+        acc = self.capture.accumulation_table.get(region, touch=False)
+        trigger = acc.trigger_offset  # type: ignore[union-attr]
+        self._note_second(region, offset)
+        anchored = self.pattern_table.get(self._key(trigger, offset))
+        if anchored is not None:
+            targets = self._targets_for(region, trigger, offset, anchored)
+            if targets:
+                self.pb.insert(region, targets)
+        return self.pb.drain(region, view)
+
+    def _targets_for(self, region: int, trigger: int, current: int,
+                     anchored: int) -> list[tuple[int, FillLevel]]:
+        """Anchored footprint -> (address, level), nearest-current-first."""
+        length = self.pattern_length
+        offsets = []
+        for i in range(1, length):
+            if not anchored >> i & 1:
+                continue
+            offset = (trigger + i) % length
+            if offset == current:
+                continue  # both pair members are already resident
+            offsets.append(offset)
+        offsets.sort(key=lambda o: min((o - current) % length,
+                                       (current - o) % length))
+        targets = []
+        for rank, offset in enumerate(offsets):
+            level = FillLevel.L1D if rank < self.near_degree else FillLevel.L2C
+            targets.append((region + (offset << CACHELINE_BITS), level))
+        return targets
+
+    def hit_run_consume(self, pc: int, address: int) -> bool:
+        """Fast-path training on one L1 hit (see ``Prefetcher`` docs).
+
+        Declines when the slow path would do more than train: a region
+        with pending PB targets (the drain touches LRU and may emit) or
+        an FT→AT promotion (Gaze's predict point).  Everything else —
+        AT bit accumulation, same-offset filter re-hits, and fresh
+        triggers (Gaze never predicts on the first access) — consumes
+        with exactly the slow path's mutations.
+        """
+        region = address & self._region_mask
+        if region in self.pb._data:
+            return False
+        offset = (address & self._offset_mask) >> CACHELINE_BITS
+        if region not in self.capture.accumulation_table:
+            filt = self.capture.filter_table.get(region, touch=False)
+            if filt is not None and filt.trigger_offset != offset:  # type: ignore[union-attr]
+                return False  # would promote and predict — replay slowly
+        consumed, offset, completed = self.capture.observe_nontrigger(
+            pc, address)
+        # completed patterns only arise on promotions, which declined above
+        if consumed:
+            return True
+        self.capture.insert_trigger(pc, address, offset)
+        return True

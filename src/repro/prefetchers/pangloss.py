@@ -1,0 +1,165 @@
+"""Pangloss — Markov-chain delta prefetcher (Papaphilippou, Kelly & Luk,
+DPC3 / arXiv:1906.00877).
+
+Pangloss approximates a Markov chain whose nodes are in-page cacheline
+*deltas*: a **Delta Cache** stores, per observed delta, the next deltas
+that followed it, each with a small saturating counter approximating the
+transition probability; a **Page Cache** remembers the last offset seen
+in each page so the next access's delta can be formed.  Prediction walks
+the chain greedily — from the current delta take the most probable
+successor, form the target offset, and continue from that successor —
+issuing a deep sequence of prefetches per trigger.
+
+Hardware budget (the paper's DPC3 L2 configuration, reproduced by
+:func:`repro.storage.pangloss_budget`): Delta Cache 128 sets x 16 ways of
+(delta tag, next delta, 5-bit NRU/probability counter) and Page Cache
+256 sets x 12 ways of (page tag, last offset) — about 17.5KB total,
+between DSPatch (3.6KB) and Pythia (25.5KB).
+
+Placement note: the original trains on the L2 access stream, i.e. on L1
+misses.  This port keeps that discipline at the repo's shared L1D
+placement by training and predicting on L1D *misses* only — which also
+makes the engine transparent to the hit-run fast path (an L1 hit
+mutates nothing and returns nothing).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..memtrace.access import CACHELINE_BITS, lines_per_region
+from .base import FillLevel, Prefetcher, PrefetchRequest, SystemView
+
+
+class _DeltaRow:
+    """One Markov node: successor deltas with probability counters."""
+
+    __slots__ = ("counts", "total", "_ways")
+
+    def __init__(self, ways: int) -> None:
+        # OrderedDict keeps LRU order for way replacement; counters cap
+        # the probability resolution like the paper's 5-bit NRU scheme.
+        self.counts: OrderedDict[int, int] = OrderedDict()
+        self.total = 0
+        self._ways = ways
+
+    def observe(self, next_delta: int, *, counter_max: int) -> None:
+        count = self.counts.pop(next_delta, 0)
+        if count == 0 and len(self.counts) >= self._ways:
+            victim, victim_count = next(iter(self.counts.items()))
+            del self.counts[victim]
+            self.total -= victim_count
+        self.counts[next_delta] = min(count + 1, counter_max)
+        self.total += self.counts[next_delta] - count
+        if self.total > counter_max * self._ways:
+            # Periodic halving ages stale transitions out of the chain.
+            self.total = 0
+            for delta, value in self.counts.items():
+                self.counts[delta] = value >> 1
+                self.total += value >> 1
+
+    def most_probable(self) -> tuple[int, float] | None:
+        """The argmax successor and its transition probability."""
+        if not self.counts or self.total <= 0:
+            return None
+        best_delta, best_count = max(self.counts.items(),
+                                     key=lambda kv: (kv[1], -abs(kv[0])))
+        return best_delta, best_count / self.total
+
+
+class Pangloss(Prefetcher):
+    """Markov-chain transition prefetcher over in-page deltas."""
+
+    name = "pangloss"
+    # Trains on the miss stream only (the original observes L2 accesses),
+    # so an L1 hit is a guaranteed no-op — the fast path can batch hit
+    # runs without calling into the prefetcher at all.
+    supports_hit_runs = True
+    hit_run_transparent = True
+
+    def __init__(self, *, region_bytes: int = 4096, delta_sets: int = 128,
+                 delta_ways: int = 16, page_entries: int = 256 * 12,
+                 counter_max: int = 31, degree: int = 8,
+                 probability_threshold: float = 1.0 / 3.0,
+                 fill_level: FillLevel = FillLevel.L2C) -> None:
+        self.region_bytes = region_bytes
+        self.pattern_length = lines_per_region(region_bytes)
+        self.delta_sets = delta_sets
+        self.delta_ways = delta_ways
+        self.page_entries = page_entries
+        self.counter_max = counter_max
+        self.degree = degree
+        self.probability_threshold = probability_threshold
+        self.fill_level = fill_level
+        # delta -> Markov row.  Deltas range over +-(pattern_length - 1);
+        # the set budget bounds how many distinct deltas hold rows.
+        self._rows: OrderedDict[int, _DeltaRow] = OrderedDict()
+        # page base -> (last offset, last delta or None).
+        self._pages: OrderedDict[int, tuple[int, int | None]] = OrderedDict()
+        self._region_mask = ~(region_bytes - 1)
+        self._offset_mask = region_bytes - 1
+
+    def _row(self, delta: int) -> _DeltaRow:
+        row = self._rows.get(delta)
+        if row is not None:
+            self._rows.move_to_end(delta)
+            return row
+        if len(self._rows) >= self.delta_sets:
+            self._rows.popitem(last=False)
+        row = _DeltaRow(self.delta_ways)
+        self._rows[delta] = row
+        return row
+
+    def on_access(self, pc: int, address: int, cycle: float, hit: bool,
+                  view: SystemView) -> list[PrefetchRequest]:
+        if hit:
+            return []  # L2-placed design: only the miss stream is visible
+        page = address & self._region_mask
+        offset = (address & self._offset_mask) >> CACHELINE_BITS
+
+        previous = self._pages.pop(page, None)
+        if len(self._pages) >= self.page_entries:
+            self._pages.popitem(last=False)
+        delta: int | None = None
+        if previous is not None:
+            last_offset, last_delta = previous
+            delta = offset - last_offset
+            if delta == 0:
+                delta = None
+            elif last_delta is not None:
+                # Record the Markov transition last_delta -> delta.
+                self._row(last_delta).observe(delta,
+                                              counter_max=self.counter_max)
+        self._pages[page] = (offset, delta if delta is not None
+                             else (previous[1] if previous else None))
+        if delta is None:
+            return []
+
+        # Greedy chain walk: most-probable successor per step, stopping
+        # when the probability mass thins out or the page ends.
+        requests: list[PrefetchRequest] = []
+        current_delta = delta
+        current_offset = offset
+        length = self.pattern_length
+        seen_offsets = {offset}
+        for _ in range(self.degree):
+            row = self._rows.get(current_delta)
+            if row is None:
+                break
+            self._rows.move_to_end(current_delta)
+            best = row.most_probable()
+            if best is None:
+                break
+            next_delta, probability = best
+            if probability < self.probability_threshold:
+                break
+            target = current_offset + next_delta
+            if not 0 <= target < length or target in seen_offsets:
+                break
+            seen_offsets.add(target)
+            requests.append(PrefetchRequest(
+                address=page + (target << CACHELINE_BITS),
+                level=self.fill_level))
+            current_offset = target
+            current_delta = next_delta
+        return requests

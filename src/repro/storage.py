@@ -177,6 +177,84 @@ def pythia_budget() -> PrefetcherBudget:
     ])
 
 
+def pangloss_budget() -> PrefetcherBudget:
+    """Pangloss's ~17.5KB (DPC3 paper, L2 configuration).
+
+    Provenance: Papaphilippou et al., "Pangloss: a novel Markov chain
+    prefetcher" (DPC3 2019, arXiv:1906.00877) — Delta Cache of 128 sets
+    x 16 ways holding (next-delta, 5b NRU counter) pairs tagged by the
+    current delta, plus a Page Cache of 256 sets x 12 ways mapping page
+    tags to the last offset seen.  :class:`repro.prefetchers.pangloss.
+    Pangloss` mirrors the same geometry (``delta_sets``/``delta_ways``/
+    ``page_entries``).
+    """
+    return PrefetcherBudget(name="pangloss", structures=[
+        StructureBudget("Delta Cache", 128 * 16, 7 + 7 + 5,
+                        note="delta tag (7b), next delta (7b), "
+                             "NRU/probability counter (5b)"),
+        StructureBudget("Page Cache", 256 * 12, 24 + 6 + 4,
+                        note="page tag (24b), last offset (6b), LRU (4b)"),
+    ])
+
+
+def gaze_budget() -> PrefetcherBudget:
+    """Gaze's ~11.1KB including the shared SMS capture front end.
+
+    Provenance: Zhang et al., "Gaze: spatial prefetching with internal
+    temporal correlations" (HPCA 2025, arXiv:2412.05211) — the pattern
+    table is indexed by the (trigger offset, second offset) pair instead
+    of the load PC, 128 sets x 8 ways of 64b footprints.  The FT/AT
+    front-end geometry matches :func:`pmp_budget`'s capture tables.
+    """
+    return PrefetcherBudget(name="gaze", structures=[
+        StructureBudget("Filter Table", 8 * 8, 33 + 16 + 6 + 3,
+                        note="shared SMS capture front end"),
+        StructureBudget("Accumulation Table", 2 * 16, 35 + 16 + 64 + 6 + 4,
+                        note="shared SMS capture front end"),
+        StructureBudget("Pair Pattern Table", 128 * 8, 12 + 64 + 3,
+                        note="offset-pair tag (12b), footprint (64b), "
+                             "LRU (3b)"),
+        StructureBudget("Prefetch Buffer", 16, 36 + 126 + 4,
+                        note="as PMP's issue buffer"),
+    ])
+
+
+def triangel_budget() -> PrefetcherBudget:
+    """Triangel's dedicated SRAM (~2.8KB) plus its LLC partition (~42KB
+    as modelled).
+
+    Provenance: Ainsworth & Mukhanov, "Triangel: a high-performance,
+    accurate, timely on-chip temporal prefetcher" (ISCA 2024,
+    arXiv:2406.10627) — the Markov table lives in a partition of up to
+    512KB carved from the LLC (modelled by ``metadata_lines``, listed
+    here at the repo's 4096-line default = 256KB-equivalent metadata);
+    dedicated SRAM covers the training units and the history sampler.
+    """
+    return PrefetcherBudget(name="triangel", structures=[
+        StructureBudget("Training Units", 256, 12 + 42 + 4,
+                        note="PC hash (12b), last line (42b), score (4b)"),
+        StructureBudget("History Sampler", 256, 32,
+                        note="pair-hash recency set"),
+        StructureBudget("Markov Table (LLC partition)", 4096, 42 + 42,
+                        note="line -> next line; carved from the LLC, "
+                             "not dedicated SRAM"),
+    ])
+
+
+def hybrid_budget() -> PrefetcherBudget:
+    """The set-dueling arbiter's own storage (constituents excluded).
+
+    Beyond-paper design (PR 10): PSEL (10b) plus the line→issuer
+    attribution map that routes useful/useless feedback; leader-set
+    membership is computed from the page hash, costing no storage.
+    """
+    return PrefetcherBudget(name="hybrid", structures=[
+        StructureBudget("PSEL", 1, 10, note="saturating selector counter"),
+        StructureBudget("Attribution Map", 1024, 42 + 1 + 2,
+                        note="line (42b), engine (1b), role (2b)"),
+    ])
+
+
 def table_v() -> dict[str, PrefetcherBudget]:
     """The five headline budgets (Table V)."""
     return {
@@ -185,6 +263,16 @@ def table_v() -> dict[str, PrefetcherBudget]:
         "spp+ppf": spp_ppf_budget(),
         "pythia": pythia_budget(),
         "pmp": pmp_budget(),
+    }
+
+
+def zoo_budgets() -> dict[str, PrefetcherBudget]:
+    """Table-V-style accounting for the PR-10 zoo additions."""
+    return {
+        "pangloss": pangloss_budget(),
+        "gaze": gaze_budget(),
+        "triangel": triangel_budget(),
+        "hybrid": hybrid_budget(),
     }
 
 

@@ -41,8 +41,10 @@ class TestSuiteRunner:
 class TestSingleCore:
     def test_populates_all_metrics(self, tiny_runner):
         results = run_single_core(tiny_runner)
-        assert set(results.nipc) == {"dspatch", "bingo", "spp+ppf",
-                                     "pythia", "pmp"}
+        from repro.prefetchers import COMPETITORS
+        assert set(results.nipc) == set(COMPETITORS)
+        assert {"dspatch", "bingo", "spp+ppf", "pythia", "pmp",
+                "pangloss", "gaze", "triangel", "hybrid"} <= set(results.nipc)
         for name in results.nipc:
             assert set(results.coverage[name]) == {"l1d", "l2c", "llc"}
             assert 0 <= results.accuracy[name]["l1d"] <= 1

@@ -1,0 +1,110 @@
+"""Registry-wide prefetcher conformance (PR 10, satellite 1 + 4).
+
+Every engine in ``COMPETITORS`` is auto-discovered and run through the
+shared conformance suite (:mod:`repro.prefetchers.conformance`) — a new
+zoo member cannot land without passing determinism, warmup discipline,
+address legality, feedback conservation, the hit-run differential, and
+sampled-stitching safety.  The registry's duplicate-name guard is pinned
+here too, next to the discovery it protects.
+"""
+
+import pytest
+
+from repro.prefetchers import (
+    COMPETITORS,
+    CompetitorRegistry,
+    Gaze,
+    HybridPrefetcher,
+    Pangloss,
+    Triangel,
+    register_competitor,
+)
+from repro.prefetchers.conformance import (
+    CONFORMANCE_CHECKS,
+    ConformanceError,
+    conformance_trace,
+    run_conformance,
+)
+
+ENGINES = sorted(COMPETITORS)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return conformance_trace()
+
+
+# --------------------------------------------------- the conformance grid
+
+@pytest.mark.parametrize("check", list(CONFORMANCE_CHECKS))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_registered_engine_conforms(engine, check, trace):
+    """(engine x check) grid over the live registry."""
+    CONFORMANCE_CHECKS[check](COMPETITORS[engine], trace)
+
+
+def test_zoo_engines_are_registered():
+    """The PR-10 ports are first-class competitors."""
+    assert COMPETITORS["pangloss"] is Pangloss
+    assert COMPETITORS["gaze"] is Gaze
+    assert COMPETITORS["triangel"] is Triangel
+    assert COMPETITORS["hybrid"] is HybridPrefetcher
+    for name, factory in COMPETITORS.items():
+        assert factory().name == name
+
+
+def test_run_conformance_reports_failures_not_raises(trace):
+    """The aggregate runner collects diagnostics for CI smokes."""
+
+    class Liar(Pangloss):
+        """Breaks legality on purpose: misaligned address."""
+
+        name = "liar"
+
+        def on_access(self, pc, address, cycle, hit, view):
+            from repro.prefetchers.base import PrefetchRequest
+            return [PrefetchRequest(address=0x1001)]
+
+    failures = run_conformance(Liar, trace)
+    assert failures
+    assert any("address_legality" in f for f in failures)
+
+
+def test_conformance_error_is_an_assertion(trace):
+    with pytest.raises(ConformanceError):
+        raise ConformanceError("x")
+    assert issubclass(ConformanceError, AssertionError)
+
+
+# ----------------------------------------------- registry shadowing guard
+
+class TestRegistryShadowing:
+    """Duplicate registration used to silently replace the old engine."""
+
+    def test_duplicate_assignment_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            COMPETITORS["pmp"] = Pangloss
+        assert COMPETITORS["pmp"] is not Pangloss  # untouched
+
+    def test_register_competitor_helper_raises_on_duplicate(self):
+        with pytest.raises(ValueError, match="pangloss"):
+            register_competitor("pangloss", Gaze)
+
+    def test_update_routes_through_the_guard(self):
+        registry = CompetitorRegistry({"a": Pangloss})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.update({"a": Gaze})
+        assert registry["a"] is Pangloss
+
+    def test_explicit_delete_allows_reregistration(self):
+        registry = CompetitorRegistry()
+        registry["x"] = Pangloss
+        del registry["x"]
+        registry["x"] = Gaze  # explicit replacement is fine
+        assert registry["x"] is Gaze
+
+    def test_registry_still_behaves_like_a_dict(self):
+        # The experiment runners use dict(), .items(), `in`, sorted().
+        assert "pmp" in COMPETITORS
+        assert dict(COMPETITORS)["pmp"] is COMPETITORS["pmp"]
+        assert sorted(COMPETITORS) == sorted(dict(COMPETITORS))

@@ -373,6 +373,18 @@ class TestExpected:
         with pytest.raises(ValueError, match="tolerance"):
             self._evaluate({"tolerance": 1.0, "min_ipc": 0.5})
 
+    def test_nipc_order_with_missing_engine_fails_without_crashing(self):
+        # Negative path (PR 10): an nipc_order naming an engine absent
+        # from the results — e.g. an unregistered prefetcher — must
+        # surface as an expectation failure, never as an exception.
+        baseline = self._result(ipc=1.0, name="baseline")
+        report = self._evaluate({"nipc_order": ["hybrid", "no-such-engine"]},
+                                results={"hybrid": self._result(ipc=1.2,
+                                                                name="hybrid")},
+                                baseline=baseline)
+        assert not report.ok
+        assert any("no-such-engine" in f for f in report.failed)
+
 
 class TestCliExitCodes:
     def _spec_file(self, tmp_path, expected_block):
@@ -419,6 +431,24 @@ weight = 1.0
 
     def test_unknown_scenario_exits_two(self, capsys):
         assert scenarios_main(["run", "no-such-scenario"]) == 2
+
+    def test_nipc_order_with_unregistered_prefetcher_exits_two(
+            self, tmp_path, capsys):
+        # The run derives its engine list from the expected block; an
+        # nipc_order naming an unregistered prefetcher must exit 2 with
+        # a diagnostic, not crash mid-simulation (PR 10 negative path).
+        path = self._spec_file(
+            tmp_path, 'nipc_order = ["hybrid", "not-an-engine"]')
+        assert scenarios_main(["run", "--spec", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown prefetcher" in err and "not-an-engine" in err
+
+    def test_explicit_unregistered_prefetcher_flag_exits_two(
+            self, tmp_path, capsys):
+        path = self._spec_file(tmp_path, "max_mpki = 500.0")
+        assert scenarios_main(["run", "--spec", path,
+                               "--prefetcher", "hybridd"]) == 2
+        assert "unknown prefetcher" in capsys.readouterr().err
 
     def test_validate_flags_broken_files(self, tmp_path, capsys):
         good = tmp_path / "good.toml"

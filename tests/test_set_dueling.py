@@ -1,0 +1,259 @@
+"""Property tests for the set-dueling arbiter (PR 10, satellite 2).
+
+Three pinned properties:
+
+* **conservation** — leader-set accounting never double-counts: one
+  issued prefetch moves PSEL at most once, exactly as a shadow model
+  predicts, no matter how feedback interleaves or repeats;
+* **determinism** — the same operation stream always produces the same
+  PSEL trajectory and winner sequence;
+* **convergence** — on a stream biased toward one engine (its leader
+  prefetches useful, the rival's useless), the arbiter's winner settles
+  on the better engine.
+
+Plus HybridPrefetcher integration: followers issue the winner's
+requests, leaders always measure their own engine, and feedback routes
+to the issuing constituent.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetchers import SetDuelingArbiter
+from repro.prefetchers.base import (
+    FillLevel,
+    NullSystemView,
+    Prefetcher,
+    PrefetchRequest,
+)
+from repro.prefetchers.hybrid import HybridPrefetcher
+
+VIEW = NullSystemView()
+
+
+# One op: (kind, line).  record carries an engine choice via line parity.
+_ops = st.lists(
+    st.tuples(st.sampled_from(["record", "credit", "debit"]),
+              st.integers(min_value=0, max_value=63)),
+    max_size=200)
+
+
+def _shadow_apply(ops, *, sets=8, leader_sets=2, psel_bits=6,
+                  attribution_entries=16):
+    """Run ops through the arbiter and an independent shadow model."""
+    arbiter = SetDuelingArbiter(sets=sets, leader_sets=leader_sets,
+                                psel_bits=psel_bits,
+                                attribution_entries=attribution_entries)
+    psel_max = (1 << psel_bits) - 1
+    shadow_psel = 1 << (psel_bits - 1)
+    shadow_issued: dict[int, tuple[str, str]] = {}
+    for kind, line in ops:
+        if kind == "record":
+            engine = "a" if line % 2 == 0 else "b"
+            role = arbiter.role_of(line << 12)  # one page per line id
+            arbiter.record_issue(line, engine, role)
+            if line in shadow_issued:
+                del shadow_issued[line]
+            elif len(shadow_issued) >= attribution_entries:
+                del shadow_issued[next(iter(shadow_issued))]
+            shadow_issued[line] = (engine, role)
+        else:
+            good = kind == "credit"
+            result = (arbiter.credit if good else arbiter.debit)(line)
+            entry = shadow_issued.pop(line, None)
+            assert result == (entry[0] if entry else None)
+            if entry and entry[1] == entry[0]:  # leader-set issue
+                toward_a = (entry[0] == "a") == good
+                if toward_a:
+                    shadow_psel = max(0, shadow_psel - 1)
+                else:
+                    shadow_psel = min(psel_max, shadow_psel + 1)
+        assert arbiter.psel == shadow_psel
+    return arbiter
+
+
+class TestConservation:
+    @given(_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_psel_matches_the_shadow_model_exactly(self, ops):
+        """Every PSEL step is predicted by a one-update-per-issue model."""
+        _shadow_apply(ops)
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=30, deadline=None)
+    def test_feedback_without_reissue_counts_once(self, line):
+        arbiter = SetDuelingArbiter(sets=4, leader_sets=2)
+        role = arbiter.role_of(line << 12)
+        arbiter.record_issue(line, role if role != "follower" else "a", role)
+        before = arbiter.psel
+        first = arbiter.credit(line)
+        after = arbiter.psel
+        assert first is not None
+        assert abs(after - before) <= 1
+        # Re-crediting or debiting the same line is inert: popped once.
+        assert arbiter.credit(line) is None
+        assert arbiter.debit(line) is None
+        assert arbiter.psel == after
+
+    def test_attribution_capacity_is_bounded(self):
+        arbiter = SetDuelingArbiter(attribution_entries=8)
+        for line in range(100):
+            arbiter.record_issue(line, "a", "follower")
+        assert len(arbiter._issued) == 8
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_same_seeded_stream_same_winner_trajectory(self, seed):
+        def run():
+            rng = random.Random(seed)
+            arbiter = SetDuelingArbiter(sets=16, leader_sets=4, psel_bits=8)
+            trail = []
+            for _ in range(300):
+                line = rng.randrange(256)
+                op = rng.random()
+                if op < 0.5:
+                    engine, role = arbiter.select(line << 12)
+                    arbiter.record_issue(line, engine, role)
+                elif op < 0.75:
+                    arbiter.credit(line)
+                else:
+                    arbiter.debit(line)
+                trail.append((arbiter.psel, arbiter.winner()))
+            return trail
+
+        assert run() == run()
+
+
+class TestConvergence:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_biased_stream_elects_the_better_engine(self, seed):
+        """A's leader prefetches are useful, B's useless → A wins
+        (and symmetrically for B)."""
+        for better in ("a", "b"):
+            rng = random.Random(seed)
+            arbiter = SetDuelingArbiter(sets=8, leader_sets=4, psel_bits=6)
+            for _ in range(600):
+                line = rng.randrange(512)
+                role = arbiter.role_of(line << 12)
+                if role == "follower":
+                    continue
+                arbiter.record_issue(line, role, role)
+                if role == better:
+                    arbiter.credit(line)
+                else:
+                    arbiter.debit(line)
+            assert arbiter.winner() == better
+
+    def test_ties_go_to_the_incumbent(self):
+        assert SetDuelingArbiter().winner() == "a"
+
+
+# ------------------------------------------------- hybrid integration
+
+class _Scripted(Prefetcher):
+    """Returns one request per access at a fixed line offset; counts
+    training and feedback calls.
+
+    Claims ``hit_run_transparent`` so it qualifies as a hybrid engine B;
+    the hybrid's ``supports_hit_runs`` still ends up False because
+    engine A here cannot consume runs, so the claim is never exercised.
+    """
+
+    supports_hit_runs = False
+    hit_run_transparent = True
+
+    def __init__(self, name, offset_lines):
+        self.name = name
+        self.offset = offset_lines * 64
+        self.trained = 0
+        self.useful = 0
+        self.useless = 0
+
+    def on_access(self, pc, address, cycle, hit, view):
+        self.trained += 1
+        return [PrefetchRequest(address=(address & ~0x3F) + self.offset)]
+
+    def on_prefetch_useful(self, address, level):
+        self.useful += 1
+
+    def on_prefetch_useless(self, address, level):
+        self.useless += 1
+
+
+def _make_hybrid():
+    a = _Scripted("a", 1)
+    b = _Scripted("b", 2)
+    return HybridPrefetcher(a, b, arbiter=SetDuelingArbiter(
+        sets=4, leader_sets=1, psel_bits=4)), a, b
+
+
+class TestHybridRouting:
+    def test_both_engines_always_train(self):
+        hybrid, a, b = _make_hybrid()
+        for i in range(40):
+            hybrid.on_access(0x400000, i * 4096, 0.0, False, VIEW)
+        assert a.trained == 40 and b.trained == 40
+
+    def test_leader_pages_issue_their_own_engine(self):
+        hybrid, a, b = _make_hybrid()
+        for i in range(64):
+            address = i * 4096
+            role = hybrid.arbiter.role_of(address)
+            requests = hybrid.on_access(0x400000, address, 0.0, False, VIEW)
+            [request] = requests
+            issued_offset = (request.address - address) // 64
+            if role == "a":
+                assert issued_offset == 1
+            elif role == "b":
+                assert issued_offset == 2
+            else:  # follower: the current winner (ties → a)
+                expected = 1 if hybrid.arbiter.winner() == "a" else 2
+                assert issued_offset == expected
+
+    def test_feedback_routes_to_the_issuing_engine(self):
+        hybrid, a, b = _make_hybrid()
+        routed = {"a": 0, "b": 0}
+        for i in range(64):
+            address = i * 4096
+            [request] = hybrid.on_access(0x400000, address, 0.0, False, VIEW)
+            engine = hybrid.arbiter.issuer_of(request.address >> 6)
+            routed[engine] += 1
+            hybrid.on_prefetch_useful(request.address, FillLevel.L2C)
+        assert routed["a"] == a.useful and routed["b"] == b.useful
+        assert a.useful + b.useful == 64
+        assert a.useless == b.useless == 0
+
+    def test_hybrid_declines_hit_runs_with_opaque_constituents(self):
+        # _Scripted mutates on hits, so the hybrid must not claim the
+        # fast path with it as engine A.
+        a = _Scripted("a", 1)
+        a.hit_run_transparent = False
+        hybrid = HybridPrefetcher(a, _Scripted("b", 2))
+        assert not hybrid.supports_hit_runs
+
+
+class TestHybridTracksBestConstituent:
+    """Fig-8-shaped witness (PR 10, satellite 6): on the mixed-tenants
+    scenario the hybrid's IPC must stay within the set-dueling
+    measurement overhead of its better constituent — the arbiter may
+    cost a little (leader pages pinned to the loser) but must never
+    collapse below both engines."""
+
+    def test_mixed_tenants_witness(self):
+        from repro.memtrace.workloads import expand_scenario
+        from repro.prefetchers import COMPETITORS
+        from repro.scenarios import load_catalog
+        from repro.sim.engine import simulate
+
+        spec = load_catalog().get("tenants-00")
+        [workload] = expand_scenario(spec)
+        trace = workload.build(8_000)
+        ipc = {name: simulate(trace, COMPETITORS[name]()).ipc
+               for name in ("pmp", "triangel", "hybrid")}
+        best = max(ipc["pmp"], ipc["triangel"])
+        # 2% tolerance mirrors the scenario catalog's expected: block.
+        assert ipc["hybrid"] >= best * 0.98, ipc

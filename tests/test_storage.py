@@ -109,3 +109,42 @@ def test_individual_budget_helpers():
                    pythia_budget()):
         assert budget.total_bits > 0
         assert budget.structures
+
+
+class TestZooBudgets:
+    """PR-10 zoo additions: provenance-pinned table geometries."""
+
+    def test_totals(self):
+        from repro.storage import zoo_budgets
+        budgets = zoo_budgets()
+        assert abs(budgets["pangloss"].total_kib - 17.5) < 0.1
+        assert abs(budgets["gaze"].total_kib - 11.1) < 0.1
+        assert abs(budgets["triangel"].total_kib - 44.8) < 0.1
+        assert abs(budgets["hybrid"].total_kib - 5.6) < 0.1
+
+    def test_geometry_matches_the_engines(self):
+        """Budget entry counts mirror the engine constructor defaults."""
+        from repro.prefetchers import Gaze, Pangloss, Triangel
+        from repro.storage import (
+            gaze_budget,
+            pangloss_budget,
+            triangel_budget,
+        )
+        pangloss = Pangloss()
+        by_name = {s.name: s for s in pangloss_budget().structures}
+        assert by_name["Delta Cache"].entries == \
+            pangloss.delta_sets * pangloss.delta_ways
+        assert by_name["Page Cache"].entries == pangloss.page_entries
+        gaze = Gaze()
+        pair_table = {s.name: s for s in gaze_budget().structures}
+        assert pair_table["Pair Pattern Table"].entries == \
+            gaze.pattern_table.sets * gaze.pattern_table.ways
+        triangel = Triangel()
+        markov = {s.name: s for s in triangel_budget().structures}
+        assert markov["Markov Table (LLC partition)"].entries == \
+            triangel.metadata_lines
+        assert markov["Training Units"].entries == triangel.train_units
+
+    def test_zoo_does_not_perturb_table_v(self):
+        assert set(table_v()) == {"dspatch", "bingo", "spp+ppf", "pythia",
+                                  "pmp"}
